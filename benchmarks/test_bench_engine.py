@@ -1,0 +1,71 @@
+"""Substrate microbenchmarks: event-loop and datapath throughput.
+
+These are true pytest-benchmark microbenchmarks (multiple rounds) — they
+track the simulator's event rate, which determines how far the scaled
+presets can be pushed (EXPERIMENTS.md records the measured rates used to
+choose them).
+"""
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.sim import Flow, Network, Simulator
+from repro.topology import build_star
+from repro.units import gbps, us
+
+
+def test_engine_schedule_run_throughput(benchmark):
+    """Raw heap throughput: schedule + run 10k self-rescheduling events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_datapath_packet_throughput(benchmark):
+    """End-to-end packets/second through host -> switch -> host."""
+
+    class Greedy(CongestionControl):
+        def __init__(self, env):
+            super().__init__(env)
+            self.window_bytes = 1e12
+            self.pacing_rate_bps = None
+
+        def on_ack(self, ctx):
+            pass
+
+    def run():
+        topo = build_star(1)
+        net = topo.network
+        src, dst = topo.hosts[0].node_id, topo.hosts[1].node_id
+        env = CCEnv(line_rate_bps=gbps(100), base_rtt_ns=net.path_rtt_ns(src, dst))
+        flow = Flow(0, src, dst, 2_000_000, 0.0)  # 2000 packets
+        net.add_flow(flow, Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(10_000))
+        assert flow.completed
+        return net.sim.events_executed
+
+    events = benchmark(run)
+    assert events > 10_000
+
+
+def test_incast_simulation_wall_clock(benchmark):
+    """The standard 16-1 HPCC incast, cold (no cache) — the unit of cost
+    behind every incast figure."""
+    from repro.experiments import scaled_incast
+    from repro.experiments.runner import run_incast
+
+    result = benchmark.pedantic(
+        lambda: run_incast(scaled_incast("hpcc")), rounds=1, iterations=1
+    )
+    assert result.all_completed
+    print(f"events executed: {result.events_executed}")

@@ -1,0 +1,39 @@
+"""Extension benches: the Sec. VII generality claim and robustness sweeps.
+
+Not paper figures — these cover the claims the paper states but does not
+evaluate: VAI+SF on other protocol families (DCTCP, TIMELY), run-to-run
+variance, and behaviour across offered loads.
+"""
+
+from repro.experiments.extensions import (
+    ext_generality,
+    ext_load_sweep,
+    ext_seed_variance,
+)
+from repro.experiments.reporting import render
+
+
+def test_generality_across_families(bench_once):
+    figure = bench_once(ext_generality)
+    print(render(figure))
+    rows = figure.tables["families"]
+    assert len(rows) == 4
+    gains = {row[0]: row[3] for row in rows}
+    # Every family improves; the two paper protocols improve ~2x.
+    assert all(g > 1.0 for g in gains.values())
+    assert gains["hpcc"] > 1.8
+    assert gains["swift"] > 1.5
+
+
+def test_seed_variance(bench_once):
+    figure = bench_once(lambda: ext_seed_variance(seeds=(1, 2, 3)))
+    print(render(figure))
+    assert len(figure.tables["variance"]) == 4
+
+
+def test_load_sweep(bench_once):
+    figure = bench_once(lambda: ext_load_sweep(loads=(0.3, 0.5)))
+    print(render(figure))
+    assert set(figure.tables) == {"hpcc", "hpcc-vai-sf"}
+    for rows in figure.tables.values():
+        assert len(rows) == 2

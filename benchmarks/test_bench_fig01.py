@@ -1,0 +1,48 @@
+"""Figure 1: Jain index & queue depth during 16-1 incast (baselines).
+
+Paper shape: default HPCC/Swift take several hundred microseconds to reach
+a Jain index near 1; the 1 Gbps-AI and probabilistic variants converge
+faster but sustain higher queues.
+"""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.figures import fig1
+from repro.experiments.reporting import render
+
+
+def _conv(result):
+    return (
+        result.convergence_ns - result.last_start_ns
+        if result.convergence_ns is not None
+        else float("inf")
+    )
+
+
+def test_fig1_reproduction(bench_once):
+    figure = bench_once(fig1)
+    print(render(figure))
+    assert "hpcc/summary" in figure.tables
+    assert "swift/summary" in figure.tables
+
+
+def test_fig1_hpcc_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("hpcc")))
+    default = run_incast_cached(scaled_incast("hpcc"))
+    high = run_incast_cached(scaled_incast("hpcc-1gbps"))
+    prob = run_incast_cached(scaled_incast("hpcc-prob"))
+    # Default converges slowly (paper: "several hundred microseconds").
+    assert _conv(default) > 300_000.0
+    # Raising AI converges faster...
+    assert _conv(high) < _conv(default)
+    # ...at the cost of more queueing.
+    assert high.queue.mean_bytes > default.queue.mean_bytes
+    # Probabilistic feedback reduces the unfairness signature.
+    assert prob.start_finish_correlation() > default.start_finish_correlation()
+
+
+def test_fig1_swift_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("swift")))
+    default = run_incast_cached(scaled_incast("swift"))
+    high = run_incast_cached(scaled_incast("swift-1gbps"))
+    assert _conv(high) < _conv(default)
+    assert high.queue.mean_bytes > default.queue.mean_bytes * 0.9

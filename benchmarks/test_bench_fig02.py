@@ -1,0 +1,27 @@
+"""Figure 2: start vs finish time, 16-1 staggered incast, HPCC baselines.
+
+Paper shape: with default HPCC, "flows that begin last finish first"
+(strongly negative start-finish correlation); the 1 Gbps-AI and
+probabilistic variants flatten the trend.
+"""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.figures import fig2
+from repro.experiments.reporting import render
+
+
+def test_fig2_reproduction(bench_once):
+    figure = bench_once(fig2)
+    print(render(figure))
+    assert set(figure.tables) == {"hpcc", "hpcc-1gbps", "hpcc-prob"}
+    assert all(len(rows) == 16 for rows in figure.tables.values())
+
+
+def test_fig2_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("hpcc")))
+    default = run_incast_cached(scaled_incast("hpcc"))
+    high = run_incast_cached(scaled_incast("hpcc-1gbps"))
+    prob = run_incast_cached(scaled_incast("hpcc-prob"))
+    assert default.start_finish_correlation() < -0.5
+    assert high.finish_spread_ns() < default.finish_spread_ns() / 3
+    assert prob.finish_spread_ns() < default.finish_spread_ns()

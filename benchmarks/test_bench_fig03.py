@@ -1,0 +1,22 @@
+"""Figure 3: start vs finish time, 16-1 staggered incast, Swift baselines."""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.figures import fig3
+from repro.experiments.reporting import render
+
+
+def test_fig3_reproduction(bench_once):
+    figure = bench_once(fig3)
+    print(render(figure))
+    assert set(figure.tables) == {"swift", "swift-1gbps", "swift-prob"}
+
+
+def test_fig3_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("swift")))
+    default = run_incast_cached(scaled_incast("swift"))
+    high = run_incast_cached(scaled_incast("swift-1gbps"))
+    # Default Swift: later flows finish first.
+    assert default.start_finish_correlation() < -0.5
+    # High AI clusters finishes and removes the negative trend.
+    assert high.finish_spread_ns() < default.finish_spread_ns()
+    assert high.start_finish_correlation() > default.start_finish_correlation()

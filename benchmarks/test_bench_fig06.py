@@ -1,0 +1,48 @@
+"""Figure 6: Swift incast (16-1 and scaled 96-1) with VAI + SF.
+
+Paper shape: Swift VAI SF becomes fair quickly and sustains the *smallest*
+queues of all Swift variants (it does not use FBS, which raises tolerated
+queueing delay), with small oscillations.
+"""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.config import SCALED_LARGE_INCAST
+from repro.experiments.figures import fig6
+from repro.experiments.reporting import render
+
+
+def _conv(result):
+    return (
+        result.convergence_ns - result.last_start_ns
+        if result.convergence_ns is not None
+        else float("inf")
+    )
+
+
+def test_fig6_reproduction(bench_once):
+    figure = bench_once(fig6)
+    print(render(figure))
+    assert "16-1/summary" in figure.tables
+
+
+def test_fig6_small_incast_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("swift-vai-sf")))
+    ours = run_incast_cached(scaled_incast("swift-vai-sf"))
+    default = run_incast_cached(scaled_incast("swift"))
+    # Finish times cluster relative to default (Fig. 9's companion fact).
+    assert ours.finish_spread_ns() < default.finish_spread_ns()
+    # Smallest max queue among Swift variants (no FBS).
+    for other in ("swift", "swift-1gbps", "swift-prob"):
+        r = run_incast_cached(scaled_incast(other))
+        assert ours.queue.max_bytes <= r.queue.max_bytes * 1.05, other
+
+
+def test_fig6_large_incast_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("swift-vai-sf", SCALED_LARGE_INCAST)))
+    n = SCALED_LARGE_INCAST
+    default = run_incast_cached(scaled_incast("swift", n))
+    ours = run_incast_cached(scaled_incast("swift-vai-sf", n))
+    assert _conv(ours) < _conv(default)
+    # Smaller sustained queues and smaller oscillations (Fig. 6d).
+    assert ours.queue.mean_bytes < default.queue.mean_bytes
+    assert ours.queue.oscillation_bytes < default.queue.oscillation_bytes * 1.1

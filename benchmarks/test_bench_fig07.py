@@ -1,0 +1,36 @@
+"""Figure 7: the 320-host fat-tree topology — structural reproduction.
+
+There is nothing to simulate: the figure is the topology itself.  The bench
+times the full paper-scale build (320 hosts, 56 switches, routing tables
+for every destination) and validates every structural property the caption
+states.
+"""
+
+from repro.experiments.figures import fig7
+from repro.experiments.reporting import render
+from repro.topology import FatTreeParams, build_fattree
+from repro.units import gbps
+
+
+def test_fig7_reproduction(bench_once):
+    figure = bench_once(fig7)
+    print(render(figure))
+    table = dict(figure.tables["structure"])
+    assert table["hosts"] == 320
+    assert table["ToR switches"] == 20
+    assert table["Agg switches"] == 20
+    assert table["spine switches"] == 16
+    assert table["switch hops cross-pod (paper: max 5)"] == 5
+
+
+def test_fig7_paper_scale_build(benchmark):
+    topo = benchmark.pedantic(
+        lambda: build_fattree(FatTreeParams()), rounds=1, iterations=1
+    )
+    p = FatTreeParams()
+    assert len(topo.hosts) == p.n_hosts == 320
+    host = topo.hosts[0]
+    assert host.nic.spec.rate_bps == gbps(100.0)
+    # Every switch has a route to every host.
+    for sw in topo.switches:
+        assert len(sw.routes) == 320

@@ -1,0 +1,24 @@
+"""Figure 8: start vs finish, 16-1 incast — HPCC default vs HPCC VAI SF.
+
+Paper shape: with VAI+SF "the finish time of the flows is much closer
+together"; the default's last-starts-finish-first trend disappears.
+"""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.figures import fig8
+from repro.experiments.reporting import render
+
+
+def test_fig8_reproduction(bench_once):
+    figure = bench_once(fig8)
+    print(render(figure))
+    assert set(figure.tables) == {"hpcc", "hpcc-vai-sf"}
+
+
+def test_fig8_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("hpcc-vai-sf")))
+    default = run_incast_cached(scaled_incast("hpcc"))
+    ours = run_incast_cached(scaled_incast("hpcc-vai-sf"))
+    assert ours.finish_spread_ns() < default.finish_spread_ns() / 2
+    assert default.start_finish_correlation() < -0.5
+    assert ours.start_finish_correlation() > 0.0

@@ -1,0 +1,20 @@
+"""Figure 9: start vs finish, 16-1 incast — Swift default vs Swift VAI SF."""
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.experiments.figures import fig9
+from repro.experiments.reporting import render
+
+
+def test_fig9_reproduction(bench_once):
+    figure = bench_once(fig9)
+    print(render(figure))
+    assert set(figure.tables) == {"swift", "swift-vai-sf"}
+
+
+def test_fig9_shape(bench_once):
+    bench_once(lambda: run_incast_cached(scaled_incast("swift-vai-sf")))
+    default = run_incast_cached(scaled_incast("swift"))
+    ours = run_incast_cached(scaled_incast("swift-vai-sf"))
+    # Finish times cluster: spread halves relative to default Swift.
+    assert ours.finish_spread_ns() < default.finish_spread_ns() * 0.6
+    assert default.start_finish_correlation() < -0.5

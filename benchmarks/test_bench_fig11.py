@@ -1,0 +1,43 @@
+"""Figure 11: 99.9% FCT slowdown vs flow size, WebSearch + Storage mix.
+
+Paper shape: same trend as Fig. 10 on a workload with far more long flows —
+the slowdown of > 1 MB flows grows to several times that of small flows,
+and VAI+SF keeps it several times lower.
+"""
+
+import numpy as np
+
+from repro.experiments import run_datacenter_cached, scaled_datacenter
+from repro.experiments.figures import fig11
+from repro.experiments.reporting import render
+from repro.metrics import tail_slowdown_above
+
+WORKLOAD = "websearch+storage"
+LONG = 100_000
+
+
+def test_fig11_reproduction(bench_once):
+    figure = bench_once(fig11)
+    print(render(figure))
+    assert len(figure.tables) == 4
+
+
+def test_fig11_mix_is_long_flow_heavy(bench_once):
+    bench_once(lambda: run_datacenter_cached(scaled_datacenter("hpcc", WORKLOAD)))
+    mixed = run_datacenter_cached(scaled_datacenter("hpcc", WORKLOAD))
+    hadoop = run_datacenter_cached(scaled_datacenter("hpcc", "hadoop"))
+    frac = lambda recs: sum(r.size_bytes > LONG for r in recs) / len(recs)
+    assert frac(mixed.records) > 2 * frac(hadoop.records)
+
+
+def test_fig11_vai_sf_improves_long_flow_tail(bench_once):
+    bench_once(lambda: run_datacenter_cached(scaled_datacenter("hpcc-vai-sf", WORKLOAD)))
+    improved = 0
+    for proto in ("hpcc", "swift"):
+        base = run_datacenter_cached(scaled_datacenter(proto, WORKLOAD))
+        ours = run_datacenter_cached(scaled_datacenter(f"{proto}-vai-sf", WORKLOAD))
+        b = tail_slowdown_above(base.records, LONG, 90.0)
+        o = tail_slowdown_above(ours.records, LONG, 90.0)
+        assert o < b * 1.1
+        improved += o < b
+    assert improved >= 1

@@ -1,0 +1,32 @@
+"""Figure 13: median FCT slowdown vs flow size, WebSearch + Storage mix.
+
+Paper shape: medians unchanged by VAI+SF; the Swift-on-Hadoop median
+regression of Fig. 12 is *not* present on this workload.
+"""
+
+from repro.experiments import run_datacenter_cached, scaled_datacenter
+from repro.experiments.figures import fig13
+from repro.experiments.reporting import render
+from repro.metrics import summarize
+
+WORKLOAD = "websearch+storage"
+
+
+def test_fig13_reproduction(bench_once):
+    figure = bench_once(fig13)
+    print(render(figure))
+    assert len(figure.tables) == 4
+
+
+def test_fig13_medians_not_hurt(bench_once):
+    bench_once(lambda: run_datacenter_cached(scaled_datacenter("swift", WORKLOAD)))
+    for proto in ("hpcc", "swift"):
+        base = summarize(
+            run_datacenter_cached(scaled_datacenter(proto, WORKLOAD)).records
+        )["p50_slowdown"]
+        ours = summarize(
+            run_datacenter_cached(
+                scaled_datacenter(f"{proto}-vai-sf", WORKLOAD)
+            ).records
+        )["p50_slowdown"]
+        assert ours < base * 1.3, proto

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Adding the paper's mechanisms to *your own* protocol.
+
+Sec. VII: "Variable AI and Sampling Frequency could be used with a multitude
+of congestion control algorithms and require minimal changes on end hosts."
+This example demonstrates that claim: we write a deliberately simple
+ECN-driven AIMD protocol (~40 lines), then bolt on VariableAI and
+SamplingFrequency from :mod:`repro.core` — the same objects the HPCC and
+Swift integrations use — and compare fairness on a staggered incast.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.core import SamplingFrequency, VariableAI, VariableAIConfig
+from repro.experiments.runner import make_env
+from repro.metrics import jain_series, mean_index_after
+from repro.sim import Flow, GoodputMonitor
+from repro.sim.packet import AckContext
+from repro.topology import build_star
+from repro.units import mb, us
+
+
+class SimpleAimd(CongestionControl):
+    """ECN-reacting AIMD: halve on mark (once per RTT), add ``ai`` per RTT.
+
+    ``use_vai_sf=True`` upgrades it with the paper's two mechanisms:
+    decreases happen every ``s`` ACKs instead of per RTT, and the additive
+    increase is token-scaled when congestion spikes (a new flow joining).
+    """
+
+    AI_BYTES = 500.0  # per RTT
+    SF_ACKS = 30
+
+    def __init__(self, env: CCEnv, use_vai_sf: bool = False):
+        super().__init__(env)
+        self.window_bytes = env.line_rate_window_bytes
+        self.pacing_rate_bps = None
+        self.last_decrease = -1e18
+        self.sf = SamplingFrequency(self.SF_ACKS) if use_vai_sf else None
+        self.vai = (
+            VariableAI(
+                VariableAIConfig(
+                    token_thresh=env.base_rtt_ns * 1.5,  # congestion = RTT here
+                    ai_div=env.base_rtt_ns / 100.0,
+                )
+            )
+            if use_vai_sf
+            else None
+        )
+        self._last_rtt_mark = 0.0
+
+    def on_ack(self, ctx: AckContext) -> None:
+        ai = self.AI_BYTES
+        if self.vai is not None:
+            self.vai.observe(ctx.rtt)
+            if ctx.now - self._last_rtt_mark >= self.env.base_rtt_ns:
+                self._last_rtt_mark = ctx.now
+                self.vai.on_rtt_end(no_congestion=ctx.rtt < self.env.base_rtt_ns * 1.2)
+                ai *= self.vai.ai_multiplier(spend=True)
+            else:
+                ai *= self.vai.ai_multiplier(spend=False)
+        congested = ctx.rtt > 1.5 * self.env.base_rtt_ns
+        if congested:
+            allowed = (
+                self.sf.on_ack()
+                if self.sf is not None
+                else ctx.now - self.last_decrease >= ctx.rtt
+            )
+            if allowed:
+                self.window_bytes = self._clamp_window(self.window_bytes / 2.0)
+                self.last_decrease = ctx.now
+        else:
+            self.window_bytes = self._clamp_window(
+                self.window_bytes + ai * ctx.newly_acked / self.window_bytes
+            )
+
+
+def run(use_vai_sf: bool) -> float:
+    topo = build_star(8)
+    net = topo.network
+    receiver = topo.hosts[-1].node_id
+    flows = []
+    for i in range(8):
+        src = topo.hosts[i].node_id
+        flow = Flow(i, src, receiver, mb(1), start_time=i * us(20))
+        net.add_flow(flow, SimpleAimd(make_env(net, src, receiver), use_vai_sf))
+        flows.append(flow)
+    mon = GoodputMonitor(net.sim, flows, net.nodes, us(10)).start()
+    net.run_until_flows_complete(timeout_ns=us(50_000))
+    t, rates = mon.rates_bps()
+    jt, jain = jain_series(t, rates, flows)
+    return mean_index_after(jt, jain, after_ns=us(140))
+
+
+def main() -> None:
+    plain = run(use_vai_sf=False)
+    upgraded = run(use_vai_sf=True)
+    print("8-1 staggered incast under a homemade AIMD protocol:")
+    print(f"  mean Jain index (plain AIMD):        {plain:.3f}")
+    print(f"  mean Jain index (+ VAI + SF):        {upgraded:.3f}")
+    print("\nThe mechanisms are protocol-agnostic: the same VariableAI and")
+    print("SamplingFrequency objects drive the HPCC and Swift variants.")
+
+
+if __name__ == "__main__":
+    main()

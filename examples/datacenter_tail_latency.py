@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Datacenter tail-latency study: the paper's headline result (Figs. 10-13).
+
+Drives the scaled fat-tree with Facebook-Hadoop-like traffic at 50% load
+under HPCC and Swift, with and without Variable AI + Sampling Frequency,
+then prints FCT slowdown percentiles per flow-size bucket — the same curves
+the paper plots.
+
+The punchline to look for: small flows are unaffected (their slowdown is
+queueing-dominated and queues stay small), while the long-flow tail drops
+with VAI+SF because starved flows regain their fair share quickly.
+
+Run:  python examples/datacenter_tail_latency.py [workload] [duration_ms]
+      workload in {hadoop, websearch, alistorage, websearch+storage}
+"""
+
+import sys
+
+from repro.experiments import run_datacenter_cached, scaled_datacenter
+from repro.experiments.reporting import format_table
+from repro.metrics import slowdown_by_size, summarize, tail_slowdown_above
+from repro.units import ms
+
+LONG_FLOW_BYTES = 100_000  # "1 MB" at the scaled preset's x0.1 sizes
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "hadoop"
+    duration = ms(float(sys.argv[2])) if len(sys.argv) > 2 else ms(6.0)
+
+    results = {}
+    for variant in ("hpcc", "hpcc-vai-sf", "swift", "swift-vai-sf"):
+        print(f"running {variant} on {workload} ...", flush=True)
+        results[variant] = run_datacenter_cached(
+            scaled_datacenter(variant, workload, duration_ns=duration)
+        )
+
+    print(f"\n=== {workload} @ 50% load, scaled fat-tree ===\n")
+    for variant, result in results.items():
+        stats = summarize(result.records)
+        tail = tail_slowdown_above(result.records, LONG_FLOW_BYTES, 99.0)
+        print(
+            f"{variant:13s} flows={result.n_completed:5d} "
+            f"median={stats['p50_slowdown']:.2f} p99={stats['p99_slowdown']:.2f} "
+            f"long-flow p99={tail:.2f}"
+        )
+
+    print("\np99 slowdown by flow-size bucket (rows = bucket upper edge, KB):")
+    buckets = {
+        v: slowdown_by_size(r.records, percentile=99.0, n_buckets=8)
+        for v, r in results.items()
+    }
+    names = list(results)
+    rows = []
+    for i in range(len(buckets[names[0]])):
+        rows.append(
+            (f"{buckets[names[0]][i].size_max_bytes / 1000:.2f}",)
+            + tuple(f"{buckets[v][i].slowdown:.2f}" for v in names)
+        )
+    print(format_table(("size <= KB",) + tuple(names), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Paper-scale campaign runner with cost estimates.
+
+The default presets are scaled for a laptop; this script is the entry point
+for running the paper's *full* configurations (Sec. III-D / VI-A) on a big
+machine.  Before launching anything it estimates event counts and wall-clock
+from the measured event rate, prints the campaign plan, and (unless
+``--yes``) asks for confirmation — a 50 ms, 320-host fat-tree trace is
+billions of events in pure Python.
+
+Run:  python examples/paper_scale_runner.py --list
+      python examples/paper_scale_runner.py --fig 1 --yes
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_FIGURES
+from repro.experiments.reporting import render
+from repro.units import SEC
+
+#: Measured on this harness (see EXPERIMENTS.md): conservative datapath rate.
+EVENTS_PER_SECOND = 400_000.0
+
+#: Rough event counts for each figure at *paper* scale, derived from the
+#: traffic volume (packets x hops x ~4 events each).
+PAPER_SCALE_EVENTS = {
+    "1": 40e6,  # 6 incast runs at 16-1, 1 MB each
+    "2": 20e6,
+    "3": 20e6,
+    "4": 1e3,  # closed-form
+    "5": 0.3e9,  # includes 96-1 runs
+    "6": 0.3e9,
+    "7": 1e5,  # topology build only
+    "8": 15e6,
+    "9": 15e6,
+    "10": 30e9,  # 320 hosts x 100G x 50% x 50 ms, 4 variants
+    "11": 30e9,
+    "12": 1e3,  # shares fig 10's cache
+    "13": 1e3,  # shares fig 11's cache
+}
+
+
+def fmt_duration(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.1f} h"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fig", action="append", dest="figs", metavar="N")
+    parser.add_argument("--list", action="store_true", help="show cost table and exit")
+    parser.add_argument("--yes", action="store_true", help="skip confirmation")
+    args = parser.parse_args()
+
+    if args.list or not args.figs:
+        print("Estimated paper-scale cost per figure (pure Python, one core):\n")
+        print(f"{'fig':>4}  {'events':>10}  {'est. wall-clock':>16}")
+        for fig_id in sorted(ALL_FIGURES, key=int):
+            ev = PAPER_SCALE_EVENTS[fig_id]
+            print(
+                f"{fig_id:>4}  {ev:10.2g}  "
+                f"{fmt_duration(ev / EVENTS_PER_SECOND):>16}"
+            )
+        print(
+            "\nFigures 12/13 are free once 10/11 have run in the same process."
+            "\nUse --fig N --yes to launch."
+        )
+        return 0
+
+    total_events = sum(PAPER_SCALE_EVENTS[str(f)] for f in args.figs)
+    estimate = total_events / EVENTS_PER_SECOND
+    print(
+        f"Campaign: figures {args.figs} at paper scale — "
+        f"~{total_events:.2g} events, est. {fmt_duration(estimate)}."
+    )
+    if not args.yes:
+        answer = input("Proceed? [y/N] ").strip().lower()
+        if answer != "y":
+            print("Aborted.")
+            return 1
+
+    for fig_id in args.figs:
+        fn = ALL_FIGURES.get(str(fig_id))
+        if fn is None:
+            print(f"unknown figure {fig_id}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = fn(scale="paper")
+        print(render(result))
+        print(f"[figure {fig_id} at paper scale: {fmt_duration(time.perf_counter() - start)}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Deep dive: watch one starved flow recover, window by window.
+
+The paper's Sec. IV example: two flows share a link fairly until a third
+joins at line rate; the multiplicative decrease then leaves the old flows
+with a quarter of the link each while the newcomer holds half.  This script
+instruments that exact scenario with :class:`repro.sim.FlowTracer` and
+prints the window/rate trajectory of the starved flow under default HPCC
+versus HPCC + VAI + SF — the mechanism's effect made visible at the
+individual-flow level.
+
+It also demonstrates CSV export for offline plotting.
+
+Run:  python examples/protocol_deep_dive.py
+"""
+
+from repro.cc import make_cc
+from repro.experiments.runner import make_env
+from repro.sim import Flow, FlowTracer
+from repro.topology import build_star
+from repro.units import mb, ns_to_us, us
+
+
+def run(variant: str):
+    topo = build_star(n_senders=3)
+    net = topo.network
+    dst = topo.hosts[-1].node_id
+
+    flows = []
+    # Flows 0 and 1 start together and reach a fair split; flow 2 joins at
+    # line rate 100 us later (the Sec. IV thought experiment).
+    for i, start in enumerate((0.0, 0.0, us(100))):
+        src = topo.hosts[i].node_id
+        flow = Flow(i, src, dst, mb(4), start_time=start)
+        net.add_flow(flow, make_cc(variant, make_env(net, src, dst)))
+        flows.append(flow)
+
+    tracer = FlowTracer(net.sim, topo.hosts, snapshot_interval_ns=us(20)).start()
+    net.run_until_flows_complete(timeout_ns=us(20_000))
+    return flows, tracer
+
+
+def describe(variant: str) -> str:
+    flows, tracer = run(variant)
+    lines = [f"--- {variant} ---"]
+    # Window trajectory of flow 0 (an original, soon-starved flow) around
+    # the join at t = 100 us.
+    snaps = tracer.snapshots_for(0)
+    for s in snaps:
+        t = ns_to_us(s.time_ns)
+        if 60 <= t <= 400 and int(t) % 60 < 20:
+            lines.append(
+                f"  t={t:6.0f} us  window={s.window_bytes / 1000:7.1f} KB  "
+                f"inflight={s.inflight_bytes / 1000:6.1f} KB"
+            )
+    for f in flows:
+        lines.append(
+            f"  flow {f.flow_id} (start {ns_to_us(f.start_time):4.0f} us): "
+            f"fct = {ns_to_us(f.fct):7.1f} us"
+        )
+    spread = max(f.finish_time for f in flows) - min(f.finish_time for f in flows)
+    lines.append(f"  finish spread: {ns_to_us(spread):.1f} us")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Three flows, third joins at line rate at t=100 us (Sec. IV):\n")
+    print(describe("hpcc"))
+    print()
+    print(describe("hpcc-vai-sf"))
+    print(
+        "\nUnder default HPCC the original flows' windows stay depressed for "
+        "hundreds of microseconds after the join; with VAI+SF the AI tokens "
+        "minted by the join's queue spike pull them back to the fair share "
+        "quickly, so all three flows finish closer together."
+    )
+    # CSV export for offline analysis:
+    _, tracer = run("hpcc-vai-sf")
+    csv_text = tracer.to_csv()
+    print(f"\nCSV export ({len(csv_text.splitlines()) - 1} flows):")
+    print(csv_text.strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of Snyder & Lebeck, "Fast Convergence to Fairness for
+Reduced Long Flow Tail Latency in Datacenter Networks" (IPPS 2022).
+
+Public surface:
+
+* :mod:`repro.core` — Variable Additive Increase, Sampling Frequency, and
+  the Sec. IV-B fluid convergence model (the paper's contribution);
+* :mod:`repro.cc` — HPCC, Swift, DCQCN and the paper's named variants;
+* :mod:`repro.sim` — the discrete-event packet-level simulator substrate;
+* :mod:`repro.topology` — incast star and fat-tree builders;
+* :mod:`repro.workloads` — incast and trace-driven datacenter generators;
+* :mod:`repro.metrics` — Jain fairness, FCT slowdown, queue statistics;
+* :mod:`repro.experiments` — one entry point per paper figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import units
+
+__all__ = ["units", "__version__"]

@@ -1,0 +1,46 @@
+"""Sender-side congestion-control protocols and the paper's variants."""
+
+from .base import CCEnv, CongestionControl
+from .dcqcn import DcqcnCC, DcqcnConfig
+from .dctcp import DctcpCC, DctcpConfig, dctcp_vai_config
+from .factory import (
+    PAPER_SF_ACKS,
+    hpcc_vai_config,
+    make_cc,
+    needs_red,
+    swift_vai_config,
+    timely_config,
+    timely_vai_config,
+    uses_cnp,
+    variant_names,
+)
+from .hpcc import HpccCC, HpccConfig
+from .probabilistic import ProbabilisticGate
+from .swift import SwiftCC, SwiftConfig
+from .timely import TimelyCC, TimelyConfig
+
+__all__ = [
+    "CCEnv",
+    "CongestionControl",
+    "DcqcnCC",
+    "DcqcnConfig",
+    "DctcpCC",
+    "DctcpConfig",
+    "HpccCC",
+    "HpccConfig",
+    "PAPER_SF_ACKS",
+    "ProbabilisticGate",
+    "SwiftCC",
+    "SwiftConfig",
+    "TimelyCC",
+    "TimelyConfig",
+    "dctcp_vai_config",
+    "hpcc_vai_config",
+    "make_cc",
+    "needs_red",
+    "swift_vai_config",
+    "timely_config",
+    "timely_vai_config",
+    "uses_cnp",
+    "variant_names",
+]

@@ -1,0 +1,158 @@
+"""DCTCP: ECN-fraction congestion control (Alizadeh et al., SIGCOMM 2010),
+with the paper's VAI/SF extension hooks.
+
+The paper cites DCTCP [5] as the origin of severity-scaled multiplicative
+decrease ("protocols also scale the multiplicative decrease factor with the
+extent of congestion", Sec. III-A).  As a window-based, ECN-driven protocol
+it is the third structural family (after INT-based HPCC and delay-based
+Swift) on which we demonstrate that Variable AI and Sampling Frequency
+compose with sender-side protocols generally.
+
+Algorithm (DCTCP paper, Sec. 3):
+
+* switches mark packets whose enqueue finds the queue above a threshold
+  (our RED config with ``kmin == kmax`` degenerates to the DCTCP step mark;
+  the standard smooth RED profile works too);
+* the sender maintains ``alpha``, an EWMA of the fraction ``F`` of marked
+  bytes per window/RTT: ``alpha = (1 - g) alpha + g F``;
+* once per RTT, if any byte was marked: ``cwnd *= 1 - alpha / 2``;
+* otherwise the window grows additively (``ai_bytes`` per RTT, applied
+  per-ACK scaled — the standard congestion-avoidance shape).
+
+Extension hooks: VAI's congestion measurement is the marked fraction ``F``
+(unit-agnostic, threshold defaults to 0.5); SF gates window decreases every
+``s`` ACKs with HPCC-style reference-window semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.sampling_frequency import SamplingFrequency
+from ..core.variable_ai import VariableAI, VariableAIConfig
+from ..sim.packet import AckContext
+from ..units import mbps
+from .base import CCEnv, CongestionControl
+
+
+@dataclass
+class DctcpConfig:
+    """DCTCP knobs (g from the DCTCP paper; AI as a rate like the others)."""
+
+    g: float = 1.0 / 16.0
+    ai_rate_bps: float = mbps(50.0)
+    sampling_acks: Optional[int] = None
+    vai: Optional[VariableAIConfig] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.g <= 1:
+            raise ValueError(f"g must be in (0, 1], got {self.g}")
+        if self.ai_rate_bps < 0:
+            raise ValueError("ai_rate_bps must be non-negative")
+
+
+def dctcp_vai_config() -> VariableAIConfig:
+    """Variable AI for DCTCP: congestion is the marked-byte fraction.
+
+    Token_Thresh = 0.5 (half the window marked — the signature of a freshly
+    joined line-rate flow); AI_DIV mints up to ~100 tokens at F = 1.
+    """
+    return VariableAIConfig(
+        token_thresh=0.5,
+        ai_div=0.01,
+        bank_cap=1000.0,
+        ai_cap=100.0,
+        dampener_constant=8.0,
+    )
+
+
+class DctcpCC(CongestionControl):
+    """One DCTCP sender instance (per flow)."""
+
+    def __init__(self, env: CCEnv, config: Optional[DctcpConfig] = None):
+        super().__init__(env)
+        self.config = config or DctcpConfig()
+        init = env.line_rate_window_bytes  # RDMA convention: line-rate start
+        self.cwnd = init
+        self.reference_cwnd = init
+        self.window_bytes = init
+        self.pacing_rate_bps = None
+        self.alpha = 1.0  # start conservative, like DCQCN
+        self.base_ai_bytes = self.config.ai_rate_bps / 8.0 * env.base_rtt_ns / 1e9
+        self._acked_bytes_rtt = 0
+        self._marked_bytes_rtt = 0
+        self._last_rtt_mark_seq = 0
+        self.sf = (
+            SamplingFrequency(self.config.sampling_acks)
+            if self.config.sampling_acks
+            else None
+        )
+        self._sf_credit = False
+        self._decrease_armed = False  # one decrease per RTT without SF
+        self.vai = VariableAI(self.config.vai) if self.config.vai else None
+        self._ai_multiplier = 1.0
+        # Introspection.
+        self.decreases = 0
+        self.last_fraction = 0.0
+
+    def on_ack(self, ctx: AckContext) -> None:
+        cfg = self.config
+        self._acked_bytes_rtt += ctx.newly_acked
+        if ctx.ece:
+            self._marked_bytes_rtt += ctx.newly_acked
+        if self.sf is not None and self.sf.on_ack():
+            self._sf_credit = True
+
+        rtt_boundary = ctx.ack_seq > self._last_rtt_mark_seq
+        if rtt_boundary:
+            self._end_rtt(ctx)
+
+        if self.sf is not None:
+            # SF mode: per-ACK decreases from the reference window, reference
+            # updates on the sampling schedule (Sec. V-B semantics).
+            if ctx.ece:
+                candidate = self.reference_cwnd * (1.0 - self.alpha / 2.0)
+                if candidate < self.cwnd:
+                    self.cwnd = candidate
+                if self._sf_credit:
+                    self.reference_cwnd = self._clamp_window(self.cwnd)
+                    self._sf_credit = False
+                    self.decreases += 1
+            else:
+                self._additive_increase(ctx.newly_acked)
+        else:
+            if not ctx.ece:
+                self._additive_increase(ctx.newly_acked)
+            # Decrease at most once per RTT, on the first marked ACK.
+            elif self._decrease_armed:
+                self.cwnd *= 1.0 - self.alpha / 2.0
+                self._decrease_armed = False
+                self.decreases += 1
+
+        self.window_bytes = self._clamp_window(self.cwnd)
+        self.cwnd = self.window_bytes
+
+    def _additive_increase(self, newly_acked: int) -> None:
+        if newly_acked <= 0:
+            return
+        ai = self._ai_multiplier * self.base_ai_bytes
+        denom = max(self.cwnd, float(self.env.mtu_bytes))
+        self.cwnd += ai * newly_acked / denom
+
+    def _end_rtt(self, ctx: AckContext) -> None:
+        cfg = self.config
+        self._last_rtt_mark_seq = max(self.snd_nxt, ctx.ack_seq)
+        if self._acked_bytes_rtt > 0:
+            fraction = self._marked_bytes_rtt / self._acked_bytes_rtt
+            self.last_fraction = fraction
+            self.alpha = (1.0 - cfg.g) * self.alpha + cfg.g * fraction
+            if self.vai is not None:
+                self.vai.observe(fraction)
+                self.vai.on_rtt_end(no_congestion=fraction == 0.0)
+                self._ai_multiplier = self.vai.ai_multiplier(spend=True)
+        self._acked_bytes_rtt = 0
+        self._marked_bytes_rtt = 0
+        self._decrease_armed = True
+        if self.sf is not None and self.cwnd > self.reference_cwnd:
+            self.reference_cwnd = self._clamp_window(self.cwnd)

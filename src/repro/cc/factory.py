@@ -1,0 +1,255 @@
+"""Variant registry: build the paper's named protocol configurations.
+
+The evaluation compares these named variants (figure legends in the paper):
+
+========================  ==================================================
+Name                      Meaning
+========================  ==================================================
+``hpcc``                  default HPCC (AI = 50 Mb/s, eta = 0.95, stage 5)
+``hpcc-1gbps``            HPCC with AI raised to 1 Gb/s (Sec. III-D)
+``hpcc-prob``             HPCC with probabilistic feedback (Sec. III-D)
+``hpcc-vai-sf``           HPCC + Variable AI + Sampling Frequency (ours)
+``hpcc-vai``              ablation: Variable AI only
+``hpcc-sf``               ablation: Sampling Frequency only
+``swift``                 default Swift (AI = 50 Mb/s, beta = .8, FBS on)
+``swift-1gbps``           Swift with AI raised to 1 Gb/s
+``swift-prob``            Swift with probabilistic feedback
+``swift-vai-sf``          Swift + VAI + SF (FBS off, reference rate,
+                          always-AI — Sec. V-B / VI-B)
+``swift-vai``             ablation: Variable AI only
+``swift-sf``              ablation: Sampling Frequency only
+``dcqcn``                 DCQCN baseline (needs RED-enabled switches)
+========================  ==================================================
+
+Paper constants (Sec. VI-A): SF interval 30 ACKs; HPCC Token_Thresh =
+network min BDP, 1 token/KB, bank 1000, spend cap 100; Swift Token_Thresh =
+target delay + min-BDP delay, 1 token/30 ns; dampener constant 8 for both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.variable_ai import VariableAIConfig
+from ..units import gbps, mbps, us
+from .base import CCEnv, CongestionControl
+from .dcqcn import DcqcnCC, DcqcnConfig
+from .dctcp import DctcpCC, DctcpConfig, dctcp_vai_config
+from .hpcc import HpccCC, HpccConfig
+from .swift import SwiftCC, SwiftConfig
+from .timely import TimelyCC, TimelyConfig
+
+#: Sampling Frequency interval used throughout the paper's evaluation.
+PAPER_SF_ACKS = 30
+#: Variable AI constants (Sec. VI-A).
+PAPER_BANK_CAP = 1000.0
+PAPER_AI_CAP = 100.0
+PAPER_DAMPENER_CONSTANT = 8.0
+#: The paper's link speed; its absolute constants (AI = 50 Mb/s, 1 token/KB,
+#: 1 token/30 ns) are converted into dimensionless ratios against this so
+#: that scaled-down presets preserve the protocols' *relative* dynamics.
+PAPER_LINE_RATE_BPS = gbps(100.0)
+#: HPCC mints min-BDP/50 KB-worth of tokens per threshold crossing at paper
+#: scale (Token_Thresh = 50 KB, AI_DIV = 1 KB/token -> ratio 50).
+PAPER_HPCC_THRESH_TO_DIV = 50.0
+#: Swift: min-BDP delay 4 us / 30 ns per token -> ratio 133.33.
+PAPER_SWIFT_BDP_DELAY_TO_DIV = 4000.0 / 30.0
+
+
+def scaled_ai_rate_bps(env: CCEnv, nominal_bps: float) -> float:
+    """Scale a paper AI rate with the line rate (no-op at 100 Gbps)."""
+    return nominal_bps * env.line_rate_bps / PAPER_LINE_RATE_BPS
+
+
+def hpcc_vai_config(env: CCEnv) -> VariableAIConfig:
+    """Variable AI configuration for HPCC: thresholds in queue bytes.
+
+    At paper scale (min BDP = 50 KB) this is exactly Sec. VI-A: Token_Thresh
+    = 50 KB, AI_DIV = 1 KB/token; scaled presets keep the 50:1 ratio.
+    """
+    thresh = env.min_bdp_bytes if env.min_bdp_bytes > 0 else env.line_rate_window_bytes
+    return VariableAIConfig(
+        token_thresh=thresh,
+        ai_div=thresh / PAPER_HPCC_THRESH_TO_DIV,
+        bank_cap=PAPER_BANK_CAP,
+        ai_cap=PAPER_AI_CAP,
+        dampener_constant=PAPER_DAMPENER_CONSTANT,
+    )
+
+
+def swift_vai_config(env: CCEnv, swift_cfg: SwiftConfig) -> VariableAIConfig:
+    """Variable AI configuration for Swift: thresholds in RTT nanoseconds.
+
+    Token_Thresh is the (FBS-free) target delay plus the delay the minimum
+    BDP adds when queued at line rate (Sec. V-A / VI-A: "4 us plus target
+    delay", 1 token / 30 ns at paper scale; scaled presets keep the ratio of
+    BDP-delay to AI_DIV).
+    """
+    target = swift_cfg.base_target_ns + swift_cfg.per_hop_ns * env.hops
+    bdp = env.min_bdp_bytes if env.min_bdp_bytes > 0 else env.line_rate_window_bytes
+    bdp_delay_ns = bdp * 8.0 / env.line_rate_bps * 1e9
+    return VariableAIConfig(
+        token_thresh=target + bdp_delay_ns,
+        ai_div=bdp_delay_ns / PAPER_SWIFT_BDP_DELAY_TO_DIV,
+        bank_cap=PAPER_BANK_CAP,
+        ai_cap=PAPER_AI_CAP,
+        dampener_constant=PAPER_DAMPENER_CONSTANT,
+    )
+
+
+def _swift_base(env: CCEnv, fs_max_cwnd: float, ai_rate_bps: float) -> SwiftConfig:
+    return SwiftConfig(fs_max_cwnd_pkts=fs_max_cwnd, ai_rate_bps=ai_rate_bps)
+
+
+def make_cc(
+    variant: str,
+    env: CCEnv,
+    *,
+    fs_max_cwnd_pkts: float = 100.0,
+    sampling_acks: int = PAPER_SF_ACKS,
+) -> CongestionControl:
+    """Instantiate a fresh congestion-control object for one flow.
+
+    Parameters
+    ----------
+    variant:
+        One of the registry names (see module docstring).
+    env:
+        Per-flow environment (line rate, base RTT, hops, min BDP, rng).
+    fs_max_cwnd_pkts:
+        Swift FBS max scaling window; the paper uses 100 packets on the
+        fat-tree and 50 on the single-switch topology.
+    sampling_acks:
+        SF interval for the ``*-sf`` variants (paper: 30).
+    """
+    v = variant.lower()
+    base_ai = scaled_ai_rate_bps(env, mbps(50.0))
+    high_ai = scaled_ai_rate_bps(env, gbps(1.0))
+    if v == "hpcc":
+        return HpccCC(env, HpccConfig(ai_rate_bps=base_ai))
+    if v == "hpcc-1gbps":
+        return HpccCC(env, HpccConfig(ai_rate_bps=high_ai))
+    if v == "hpcc-prob":
+        return HpccCC(env, HpccConfig(ai_rate_bps=base_ai, probabilistic=True))
+    if v == "hpcc-vai-sf":
+        return HpccCC(
+            env,
+            HpccConfig(
+                ai_rate_bps=base_ai,
+                sampling_acks=sampling_acks,
+                vai=hpcc_vai_config(env),
+            ),
+        )
+    if v == "hpcc-vai":
+        return HpccCC(env, HpccConfig(ai_rate_bps=base_ai, vai=hpcc_vai_config(env)))
+    if v == "hpcc-sf":
+        return HpccCC(env, HpccConfig(ai_rate_bps=base_ai, sampling_acks=sampling_acks))
+    if v == "swift":
+        return SwiftCC(env, _swift_base(env, fs_max_cwnd_pkts, base_ai))
+    if v == "swift-1gbps":
+        cfg = _swift_base(env, fs_max_cwnd_pkts, high_ai)
+        return SwiftCC(env, cfg)
+    if v == "swift-prob":
+        cfg = _swift_base(env, fs_max_cwnd_pkts, base_ai)
+        cfg.probabilistic = True
+        return SwiftCC(env, cfg)
+    if v == "swift-vai-sf":
+        cfg = SwiftConfig(
+            ai_rate_bps=base_ai,
+            use_fbs=False,  # Sec. VI-B-1: the VAI SF variant does not use FBS
+            sampling_acks=sampling_acks,
+            use_reference_rate=True,
+            always_ai=True,
+        )
+        cfg.vai = swift_vai_config(env, cfg)
+        return SwiftCC(env, cfg)
+    if v == "swift-vai":
+        cfg = _swift_base(env, fs_max_cwnd_pkts, base_ai)
+        cfg.vai = swift_vai_config(env, cfg)
+        return SwiftCC(env, cfg)
+    if v == "swift-sf":
+        cfg = _swift_base(env, fs_max_cwnd_pkts, base_ai)
+        cfg.sampling_acks = sampling_acks
+        cfg.use_reference_rate = True
+        return SwiftCC(env, cfg)
+    if v == "dcqcn":
+        return DcqcnCC(env)
+    if v == "dctcp":
+        return DctcpCC(env, DctcpConfig(ai_rate_bps=base_ai))
+    if v == "dctcp-vai-sf":
+        return DctcpCC(
+            env,
+            DctcpConfig(
+                ai_rate_bps=base_ai,
+                sampling_acks=sampling_acks,
+                vai=dctcp_vai_config(),
+            ),
+        )
+    if v == "timely":
+        return TimelyCC(env, timely_config(env, base_ai))
+    if v == "timely-vai-sf":
+        cfg = timely_config(env, base_ai)
+        cfg.sampling_acks = sampling_acks
+        cfg.vai = timely_vai_config(env, cfg)
+        return TimelyCC(env, cfg)
+    raise ValueError(f"unknown congestion-control variant {variant!r}")
+
+
+def timely_config(env: CCEnv, delta_bps: float) -> TimelyConfig:
+    """TIMELY thresholds scaled to the flow's path: T_low just above the
+    unloaded RTT, T_high a few BDPs of queueing beyond it."""
+    return TimelyConfig(
+        delta_bps=delta_bps,
+        t_low_ns=env.base_rtt_ns * 1.1,
+        t_high_ns=env.base_rtt_ns * 1.1 + 5.0 * _bdp_delay_ns(env),
+    )
+
+
+def timely_vai_config(env: CCEnv, timely_cfg: TimelyConfig) -> VariableAIConfig:
+    """Variable AI for TIMELY: RTT-based, like Swift's (Sec. V-A)."""
+    bdp_delay = _bdp_delay_ns(env)
+    return VariableAIConfig(
+        token_thresh=timely_cfg.t_low_ns + bdp_delay,
+        ai_div=bdp_delay / PAPER_SWIFT_BDP_DELAY_TO_DIV,
+        bank_cap=PAPER_BANK_CAP,
+        ai_cap=PAPER_AI_CAP,
+        dampener_constant=PAPER_DAMPENER_CONSTANT,
+    )
+
+
+def _bdp_delay_ns(env: CCEnv) -> float:
+    bdp = env.min_bdp_bytes if env.min_bdp_bytes > 0 else env.line_rate_window_bytes
+    return bdp * 8.0 / env.line_rate_bps * 1e9
+
+
+def variant_names() -> List[str]:
+    """All registry names (stable order, for CLI help and tests)."""
+    return [
+        "hpcc",
+        "hpcc-1gbps",
+        "hpcc-prob",
+        "hpcc-vai-sf",
+        "hpcc-vai",
+        "hpcc-sf",
+        "swift",
+        "swift-1gbps",
+        "swift-prob",
+        "swift-vai-sf",
+        "swift-vai",
+        "swift-sf",
+        "dcqcn",
+        "dctcp",
+        "dctcp-vai-sf",
+        "timely",
+        "timely-vai-sf",
+    ]
+
+
+def uses_cnp(variant: str) -> bool:
+    """True when flows of this variant need receiver-side CNP generation."""
+    return variant.lower() == "dcqcn"
+
+
+def needs_red(variant: str) -> bool:
+    """True when the variant needs RED/ECN marking enabled on switches."""
+    return variant.lower() in ("dcqcn", "dctcp", "dctcp-vai-sf")

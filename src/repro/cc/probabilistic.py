@@ -1,0 +1,44 @@
+"""Probabilistic feedback gate (Sec. III-D).
+
+To demonstrate that deterministic feedback is a source of unfairness, the
+paper modifies HPCC and Swift to sometimes *ignore* congestion feedback,
+with the ignore probability a linear function of the current window:
+
+    feedback is disregarded when  Current Window < (rand() % Max Window)
+
+i.e. feedback is *used* with probability ``window / max_window`` — a flow at
+its maximum window always reacts, a starved flow almost never does, so big
+flows decrease more often and fairness improves (mimicking DCQCN's RED).
+The gate applies only to multiplicative decreases that would update the
+reference rate; rate increases are never gated.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ProbabilisticGate:
+    """Decides whether a reference-rate decrease may use its feedback."""
+
+    __slots__ = ("rng", "accepted", "rejected")
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.accepted = 0
+        self.rejected = 0
+
+    def allow(self, current_window: float, max_window: float) -> bool:
+        """True when the feedback should be acted upon.
+
+        Implements the paper's expression literally: draw an integer in
+        ``[0, max_window)`` and use the feedback iff it is below the current
+        window.  Windows are in bytes; scale is irrelevant to the ratio.
+        """
+        limit = max(int(max_window), 1)
+        use = self.rng.randrange(limit) < current_window
+        if use:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return use

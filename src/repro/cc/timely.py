@@ -1,0 +1,172 @@
+"""TIMELY: RTT-gradient congestion control (Mittal et al., SIGCOMM 2015),
+with the paper's VAI/SF extension hooks.
+
+The paper cites TIMELY [23] as the origin of rate-based RTT reaction and
+suggests Swift "may benefit from a hyper additive increase setting like in
+Timely".  Implementing it here serves two purposes: it demonstrates the
+claim that Variable AI and Sampling Frequency "could be used with a
+multitude of congestion control algorithms" (Sec. VII) on a third,
+structurally different protocol (rate-based, gradient-driven), and it
+provides the HAI mechanism the paper references.
+
+Algorithm (TIMELY paper, Sec. 4.3):
+
+* maintain an EWMA of per-ACK RTT differences; normalize by the minimum
+  RTT to get the *gradient*;
+* ``rtt < T_low`` → additive increase ``delta`` (no questions asked);
+* ``rtt > T_high`` → multiplicative decrease
+  ``rate *= 1 - beta * (1 - T_high / rtt)`` (bounded, severity-scaled);
+* otherwise: negative gradient → additive increase (HAI mode: ``N * delta``
+  after five consecutive negative-gradient completions); positive gradient
+  → ``rate *= 1 - beta * min(gradient, 1)``.
+
+Extension hooks mirror the Swift integration: VAI mints tokens from RTT
+measurements above ``target + min-BDP delay`` and scales ``delta``; SF
+gates multiplicative decreases on an ACK count instead of the completion-
+event clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.sampling_frequency import SamplingFrequency
+from ..core.variable_ai import VariableAI, VariableAIConfig
+from ..sim.packet import AckContext
+from ..units import mbps, us
+from .base import CCEnv, CongestionControl
+
+
+@dataclass
+class TimelyConfig:
+    """TIMELY knobs (defaults follow the TIMELY paper, scaled like Swift)."""
+
+    ewma_alpha: float = 0.46  # weight of the newest RTT difference
+    beta: float = 0.8
+    t_low_ns: float = us(5.0)
+    t_high_ns: float = us(50.0)
+    delta_bps: float = mbps(50.0)  # additive increase step, as a rate
+    hai_threshold: int = 5  # consecutive negative gradients to enter HAI
+    hai_multiplier: float = 5.0  # N
+    min_rate_bps: float = mbps(10.0)
+    sampling_acks: Optional[int] = None
+    vai: Optional[VariableAIConfig] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if not 0 < self.beta < 1:
+            raise ValueError(f"beta must be in (0, 1), got {self.beta}")
+        if self.t_high_ns <= self.t_low_ns:
+            raise ValueError("need t_low < t_high")
+        if self.hai_threshold < 1:
+            raise ValueError("hai_threshold must be >= 1")
+
+
+class TimelyCC(CongestionControl):
+    """One TIMELY sender instance (per flow)."""
+
+    def __init__(self, env: CCEnv, config: Optional[TimelyConfig] = None):
+        super().__init__(env)
+        self.config = config or TimelyConfig()
+        self.rate_bps = env.line_rate_bps  # start at line rate
+        self.pacing_rate_bps = self.rate_bps
+        # Rate-based, but keep a generous window backstop (2 BDP) so a
+        # stale pacing rate cannot flood an already-congested path.
+        self.window_bytes = 2.0 * env.line_rate_window_bytes
+        self.prev_rtt_ns: Optional[float] = None
+        self.rtt_diff_ewma = 0.0
+        self.negative_gradient_streak = 0
+        self.last_decrease_time = -float("inf")
+        self.sf = (
+            SamplingFrequency(self.config.sampling_acks)
+            if self.config.sampling_acks
+            else None
+        )
+        self._sf_credit = False
+        self.vai = VariableAI(self.config.vai) if self.config.vai else None
+        self._ai_multiplier = 1.0
+        self._last_rtt_mark = 0.0
+        self._saw_congestion = False
+        # Introspection.
+        self.decreases = 0
+        self.hai_events = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def _delta_bps(self) -> float:
+        return self._ai_multiplier * self.config.delta_bps
+
+    def _set_rate(self, rate: float) -> None:
+        self.rate_bps = min(max(rate, self.config.min_rate_bps), self.env.line_rate_bps)
+        self.pacing_rate_bps = self.rate_bps
+
+    def _gradient(self, rtt: float) -> float:
+        if self.prev_rtt_ns is None:
+            self.prev_rtt_ns = rtt
+            return 0.0
+        diff = rtt - self.prev_rtt_ns
+        self.prev_rtt_ns = rtt
+        a = self.config.ewma_alpha
+        self.rtt_diff_ewma = (1.0 - a) * self.rtt_diff_ewma + a * diff
+        return self.rtt_diff_ewma / self.env.base_rtt_ns
+
+    # -- main reaction -----------------------------------------------------------
+
+    def on_ack(self, ctx: AckContext) -> None:
+        cfg = self.config
+        rtt = ctx.rtt
+        if self.sf is not None and self.sf.on_ack():
+            self._sf_credit = True
+        if self.vai is not None:
+            self.vai.observe(rtt)
+            if rtt > cfg.t_low_ns + self.env.base_rtt_ns:
+                self._saw_congestion = True
+            if ctx.now - self._last_rtt_mark >= self.env.base_rtt_ns:
+                self._last_rtt_mark = ctx.now
+                self.vai.on_rtt_end(no_congestion=not self._saw_congestion)
+                self._saw_congestion = False
+                self._ai_multiplier = self.vai.ai_multiplier(spend=True)
+
+        gradient = self._gradient(rtt)
+
+        if rtt < cfg.t_low_ns:
+            self._set_rate(self.rate_bps + self._delta_bps())
+            self.negative_gradient_streak = 0
+            return
+        if rtt > cfg.t_high_ns:
+            if self._may_decrease(ctx):
+                self._set_rate(
+                    self.rate_bps * (1.0 - cfg.beta * (1.0 - cfg.t_high_ns / rtt))
+                )
+                self.decreases += 1
+            self.negative_gradient_streak = 0
+            return
+        if gradient <= 0:
+            self.negative_gradient_streak += 1
+            n = (
+                cfg.hai_multiplier
+                if self.negative_gradient_streak >= cfg.hai_threshold
+                else 1.0
+            )
+            if n > 1.0:
+                self.hai_events += 1
+            self._set_rate(self.rate_bps + n * self._delta_bps())
+        else:
+            self.negative_gradient_streak = 0
+            if self._may_decrease(ctx):
+                self._set_rate(self.rate_bps * (1.0 - cfg.beta * min(gradient, 1.0)))
+                self.decreases += 1
+
+    def _may_decrease(self, ctx: AckContext) -> bool:
+        if self.sf is not None:
+            if self._sf_credit:
+                self._sf_credit = False
+                self.last_decrease_time = ctx.now
+                return True
+            return False
+        if ctx.now - self.last_decrease_time >= self.env.base_rtt_ns:
+            self.last_decrease_time = ctx.now
+            return True
+        return False

@@ -1,0 +1,35 @@
+"""The paper's contribution: protocol-independent fairness mechanisms.
+
+* :mod:`variable_ai` — Variable Additive Increase (Algorithms 1-2);
+* :mod:`sampling_frequency` — ACK-counted multiplicative decreases;
+* :mod:`fluid_model` — the Sec. IV-B convergence model behind Fig. 4.
+"""
+
+from .fluid_model import (
+    FluidModelParams,
+    fairness_difference,
+    fairness_gap_slope_at_zero,
+    fig4_series,
+    gbps_to_bytes_per_ns,
+    initial_slope_condition,
+    integrate_numerically,
+    per_rtt_rate,
+    sampling_rate,
+)
+from .sampling_frequency import SamplingFrequency
+from .variable_ai import VariableAI, VariableAIConfig
+
+__all__ = [
+    "FluidModelParams",
+    "SamplingFrequency",
+    "VariableAI",
+    "VariableAIConfig",
+    "fairness_difference",
+    "fairness_gap_slope_at_zero",
+    "fig4_series",
+    "gbps_to_bytes_per_ns",
+    "initial_slope_condition",
+    "integrate_numerically",
+    "per_rtt_rate",
+    "sampling_rate",
+]

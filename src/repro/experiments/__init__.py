@@ -1,0 +1,66 @@
+"""Experiment harness: configs, runners, and per-figure reproductions."""
+
+from .config import (
+    DATACENTER_VARIANTS,
+    DatacenterConfig,
+    IncastConfig,
+    paper_datacenter,
+    paper_incast,
+    red_for_rate,
+    scaled_datacenter,
+    scaled_incast,
+    with_seed,
+)
+from .extensions import ALL_EXTENSIONS, ext_generality, ext_load_sweep, ext_seed_variance
+from .figures import ALL_FIGURES, FigureResult
+from .reporting import format_table, render
+from .sweeps import (
+    Aggregate,
+    compare_variants_across_seeds,
+    datacenter_seed_sweep,
+    incast_seed_sweep,
+    load_sweep,
+)
+from .runner import (
+    DatacenterResult,
+    IncastResult,
+    clear_caches,
+    make_env,
+    run_datacenter,
+    run_datacenter_cached,
+    run_incast,
+    run_incast_cached,
+)
+
+__all__ = [
+    "ALL_EXTENSIONS",
+    "ALL_FIGURES",
+    "Aggregate",
+    "DATACENTER_VARIANTS",
+    "DatacenterConfig",
+    "DatacenterResult",
+    "FigureResult",
+    "IncastConfig",
+    "IncastResult",
+    "clear_caches",
+    "compare_variants_across_seeds",
+    "datacenter_seed_sweep",
+    "ext_generality",
+    "ext_load_sweep",
+    "ext_seed_variance",
+    "format_table",
+    "incast_seed_sweep",
+    "load_sweep",
+    "make_env",
+    "paper_datacenter",
+    "paper_incast",
+    "red_for_rate",
+    "render",
+    "run_datacenter",
+    "run_datacenter_cached",
+    "run_incast",
+    "run_incast_cached",
+    "scaled_datacenter",
+    "scaled_incast",
+    "with_seed",
+]

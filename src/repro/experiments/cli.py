@@ -1,0 +1,88 @@
+"""Command-line entry point: ``repro-experiments --fig 5`` or ``--all``.
+
+``--scale paper`` runs the paper's full parameters (hours in pure Python at
+figure 10-13 scale — see EXPERIMENTS.md); the default ``scaled`` presets run
+each figure in seconds to a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .extensions import ALL_EXTENSIONS
+from .figures import ALL_FIGURES
+from .reporting import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures of 'Fast Convergence to Fairness for "
+            "Reduced Long Flow Tail Latency in Datacenter Networks' "
+            "(IPPS 2022)."
+        ),
+    )
+    parser.add_argument(
+        "--fig",
+        action="append",
+        dest="figs",
+        metavar="N",
+        help=f"figure to reproduce (repeatable); one of {sorted(ALL_FIGURES, key=int)}",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="reproduce every figure in order"
+    )
+    parser.add_argument(
+        "--ext",
+        action="append",
+        dest="exts",
+        metavar="NAME",
+        help=f"extension experiment (repeatable); one of {sorted(ALL_EXTENSIONS)}",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("scaled", "paper"),
+        default="scaled",
+        help="parameter preset (default: scaled; 'paper' is full Sec. VI-A scale)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    figs = list(args.figs or [])
+    exts = list(args.exts or [])
+    if args.all:
+        figs = sorted(ALL_FIGURES, key=int)
+    if not figs and not exts:
+        build_parser().print_help()
+        return 2
+    for fig_id in figs:
+        fn = ALL_FIGURES.get(str(fig_id))
+        if fn is None:
+            print(f"error: unknown figure {fig_id!r}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = fn(scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(render(result))
+        print(f"\n[figure {fig_id} reproduced in {elapsed:.1f}s]\n")
+    for ext_id in exts:
+        fn = ALL_EXTENSIONS.get(str(ext_id))
+        if fn is None:
+            print(f"error: unknown extension {ext_id!r}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = fn(scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(render(result))
+        print(f"\n[extension {ext_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

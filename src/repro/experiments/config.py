@@ -1,0 +1,171 @@
+"""Experiment configurations: the paper's parameters and scaled presets.
+
+Two preset families:
+
+* ``paper_*`` — the exact parameters from Secs. III-D and VI-A (16-1 / 96-1
+  incast at 100 Gbps; 320-host fat-tree at 50% load for 50 ms).  Running
+  these in pure Python takes hours; they exist so the harness can be pointed
+  at full scale on a big machine (``repro-experiments --scale paper``).
+* ``scaled_*`` — shape-preserving reductions used by the benchmark suite:
+  smaller incast degree and a 16-host fat-tree at 10/40 Gbps with flow sizes
+  scaled by 0.1 (the BDP shrinks by roughly the same factor, so
+  "long flow" stays long relative to the pipe).  EXPERIMENTS.md records the
+  exact scaling per figure.
+
+The RED marking profile for DCQCN follows common 100 Gbps practice
+(kmin 100 KB, kmax 400 KB, pmax 0.01 — Sec. III-C quotes the 1% maximum
+marking probability), scaled with the link rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..sim.port import RedConfig
+from ..topology.fattree import FatTreeParams, scaled_fattree_params
+from ..units import gbps, mb, ms, us
+
+
+def red_for_rate(rate_bps: float) -> RedConfig:
+    """DCQCN RED thresholds proportional to link speed (100 KB at 100 Gbps)."""
+    scale = rate_bps / gbps(100.0)
+    return RedConfig(
+        kmin_bytes=100_000.0 * scale,
+        kmax_bytes=400_000.0 * scale,
+        pmax=0.01,
+    )
+
+
+@dataclass(frozen=True)
+class IncastConfig:
+    """An N-to-1 staggered incast experiment on the star topology."""
+
+    variant: str
+    n_senders: int = 16
+    flow_size_bytes: int = mb(1)
+    flows_per_batch: int = 2
+    batch_interval_ns: float = us(20.0)
+    rate_bps: float = gbps(100.0)
+    prop_delay_ns: float = us(1.0)
+    fs_max_cwnd_pkts: float = 50.0  # paper lowers FBS max window on the star
+    sample_interval_ns: float = us(2.0)  # queue-depth sampling
+    goodput_interval_ns: float = us(10.0)  # rate sampling for the Jain index
+    timeout_ns: float = ms(50.0)
+    seed: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_senders}-1 incast, {self.variant}, "
+            f"{self.flow_size_bytes / 1e6:g} MB flows, "
+            f"{self.rate_bps / 1e9:g} Gbps links"
+        )
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """A trace-driven fat-tree experiment."""
+
+    variant: str
+    workload: str = "hadoop"  # distribution registry name
+    fattree: FatTreeParams = field(default_factory=scaled_fattree_params)
+    load: float = 0.5
+    duration_ns: float = ms(5.0)
+    size_scale: float = 0.1  # multiply sampled flow sizes (scaled runs)
+    drain_timeout_ns: float = ms(30.0)
+    fs_max_cwnd_pkts: float = 100.0
+    seed: int = 42
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload} @ {self.load:.0%} load on "
+            f"{self.fattree.n_hosts}-host fat-tree, {self.variant}, "
+            f"{self.duration_ns / 1e6:g} ms"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale presets (Secs. III-D / VI-A)
+# ---------------------------------------------------------------------------
+
+
+def paper_incast(variant: str, n_senders: int = 16) -> IncastConfig:
+    """The paper's incast: 100 Gbps star, 1 MB flows, 2 starts / 20 us."""
+    return IncastConfig(variant=variant, n_senders=n_senders)
+
+
+def paper_datacenter(variant: str, workload: str = "hadoop") -> DatacenterConfig:
+    """The paper's datacenter run: 320 hosts, 100G/400G, 50% load, 50 ms."""
+    return DatacenterConfig(
+        variant=variant,
+        workload=workload,
+        fattree=FatTreeParams(),
+        load=0.5,
+        duration_ns=ms(50.0),
+        size_scale=1.0,
+        drain_timeout_ns=ms(200.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scaled presets (bench defaults)
+# ---------------------------------------------------------------------------
+
+#: Incast degree used in scaled reproductions of the 96-1 experiments.
+SCALED_LARGE_INCAST = 32
+
+
+def scaled_incast(variant: str, n_senders: int = 16) -> IncastConfig:
+    """Paper-shape incast, bench-friendly.
+
+    The 16-1 pattern is cheap enough to run at the paper's own parameters,
+    so only the sampling interval differs from :func:`paper_incast`.
+    """
+    return IncastConfig(variant=variant, n_senders=n_senders)
+
+
+def scaled_datacenter(
+    variant: str,
+    workload: str = "hadoop",
+    *,
+    duration_ns: float = ms(6.0),
+    seed: int = 42,
+) -> DatacenterConfig:
+    """Scaled fat-tree run: 16 hosts at 10/40 Gbps, sizes x0.1."""
+    return DatacenterConfig(
+        variant=variant,
+        workload=workload,
+        fattree=scaled_fattree_params(),
+        load=0.5,
+        duration_ns=duration_ns,
+        size_scale=0.1,
+        seed=seed,
+    )
+
+
+def with_seed(cfg, seed: int):
+    """A copy of any config with a different seed (multi-seed sweeps)."""
+    return replace(cfg, seed=seed)
+
+
+#: The variant line-ups each figure compares (paper legends).
+FIG1_HPCC_VARIANTS: Tuple[str, ...] = ("hpcc", "hpcc-1gbps", "hpcc-prob")
+FIG1_SWIFT_VARIANTS: Tuple[str, ...] = ("swift", "swift-1gbps", "swift-prob")
+FIG5_HPCC_VARIANTS: Tuple[str, ...] = (
+    "hpcc",
+    "hpcc-1gbps",
+    "hpcc-prob",
+    "hpcc-vai-sf",
+)
+FIG6_SWIFT_VARIANTS: Tuple[str, ...] = (
+    "swift",
+    "swift-1gbps",
+    "swift-prob",
+    "swift-vai-sf",
+)
+DATACENTER_VARIANTS: Tuple[str, ...] = (
+    "hpcc",
+    "hpcc-vai-sf",
+    "swift",
+    "swift-vai-sf",
+)

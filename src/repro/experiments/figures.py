@@ -1,0 +1,481 @@
+"""One entry point per paper figure.
+
+Every function returns a :class:`FigureResult` whose ``tables`` hold the
+rows the paper's plot encodes (so the harness "prints the same series the
+paper reports").  ``scale`` selects parameter presets:
+
+* ``"scaled"`` (default) — bench-friendly reductions (EXPERIMENTS.md);
+* ``"paper"`` — the full Sec. III-D / VI-A parameters.
+
+Figure inventory (the paper has no numbered tables):
+
+=====  ====================================================================
+Fig    Content
+=====  ====================================================================
+1      16-1 incast Jain index & queue depth, HPCC and Swift baselines
+2, 3   16-1 incast start-vs-finish scatter (HPCC / Swift baselines)
+4      fluid-model fairness difference
+5, 6   16-1 and 96-1 incast Jain/queue with VAI+SF (HPCC / Swift)
+7      fat-tree topology (reproduced as structural validation)
+8, 9   16-1 incast start-vs-finish, default vs VAI+SF (HPCC / Swift)
+10-13  FCT slowdown vs flow size on datacenter traces (tail and median)
+=====  ====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fluid_model import FluidModelParams, fig4_series, initial_slope_condition
+from ..metrics.fct import slowdown_by_size, summarize, tail_slowdown_above
+from ..topology.fattree import FatTreeParams, build_fattree
+from ..units import ms, ns_to_us
+from .config import (
+    DATACENTER_VARIANTS,
+    FIG1_HPCC_VARIANTS,
+    FIG1_SWIFT_VARIANTS,
+    FIG5_HPCC_VARIANTS,
+    FIG6_SWIFT_VARIANTS,
+    SCALED_LARGE_INCAST,
+    paper_datacenter,
+    paper_incast,
+    scaled_datacenter,
+    scaled_incast,
+)
+from .runner import (
+    DatacenterResult,
+    IncastResult,
+    run_datacenter_cached,
+    run_incast_cached,
+)
+
+
+@dataclass
+class FigureResult:
+    """Tabular reproduction of one figure."""
+
+    figure: str
+    title: str
+    tables: Dict[str, List[tuple]] = field(default_factory=dict)
+    columns: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, name: str, columns: Tuple[str, ...], rows: List[tuple]) -> None:
+        self.tables[name] = rows
+        self.columns[name] = columns
+
+
+def _incast_cfg(variant: str, n_senders: int, scale: str):
+    if scale == "paper":
+        return paper_incast(variant, n_senders)
+    return scaled_incast(variant, n_senders)
+
+
+def _large_incast_degree(scale: str) -> int:
+    return 96 if scale == "paper" else SCALED_LARGE_INCAST
+
+
+def _incast_summary_rows(results: Sequence[IncastResult]) -> List[tuple]:
+    rows = []
+    for r in results:
+        conv = ns_to_us(r.convergence_ns) if r.convergence_ns is not None else None
+        rows.append(
+            (
+                r.config.variant,
+                round(conv, 1) if conv is not None else None,
+                round(r.queue.max_bytes / 1000.0, 1),
+                round(r.queue.mean_bytes / 1000.0, 1),
+                round(r.queue.oscillation_bytes / 1000.0, 1),
+                round(ns_to_us(r.finish_spread_ns()), 1),
+                round(r.start_finish_correlation(), 3),
+                r.all_completed,
+            )
+        )
+    return rows
+
+
+_INCAST_SUMMARY_COLUMNS = (
+    "variant",
+    "jain>=0.9 after last start (us)",
+    "max queue (KB)",
+    "mean queue (KB)",
+    "queue osc. (KB std)",
+    "finish spread (us)",
+    "start-finish corr",
+    "completed",
+)
+
+
+def _jain_decimated(r: IncastResult, n_points: int = 40) -> List[tuple]:
+    """Decimate the Jain series to a printable table."""
+    t, v = r.jain_times_ns, r.jain_values
+    if len(t) == 0:
+        return []
+    idx = np.linspace(0, len(t) - 1, min(n_points, len(t))).astype(int)
+    return [(round(ns_to_us(t[i]), 1), round(float(v[i]), 4)) for i in idx]
+
+
+def _queue_decimated(r: IncastResult, n_points: int = 40) -> List[tuple]:
+    t, v = r.queue_times_ns, r.queue_values_bytes
+    if len(t) == 0:
+        return []
+    idx = np.linspace(0, len(t) - 1, min(n_points, len(t))).astype(int)
+    return [(round(ns_to_us(t[i]), 1), round(float(v[i]) / 1000.0, 2)) for i in idx]
+
+
+def _incast_figure(
+    figure: str,
+    title: str,
+    variants: Sequence[str],
+    n_senders: int,
+    scale: str,
+    *,
+    include_series: bool = True,
+) -> FigureResult:
+    results = [run_incast_cached(_incast_cfg(v, n_senders, scale)) for v in variants]
+    fig = FigureResult(figure=figure, title=title)
+    fig.add_table("summary", _INCAST_SUMMARY_COLUMNS, _incast_summary_rows(results))
+    if include_series:
+        for r in results:
+            fig.add_table(
+                f"jain:{r.config.variant}", ("t (us)", "jain"), _jain_decimated(r)
+            )
+            fig.add_table(
+                f"queue:{r.config.variant}", ("t (us)", "KB"), _queue_decimated(r)
+            )
+    fig.notes.append(
+        f"{n_senders}-1 staggered incast at {scale} scale; convergence time is "
+        "measured from the last flow's start."
+    )
+    return fig
+
+
+def _start_finish_figure(
+    figure: str, title: str, variants: Sequence[str], scale: str
+) -> FigureResult:
+    fig = FigureResult(figure=figure, title=title)
+    for v in variants:
+        r = run_incast_cached(_incast_cfg(v, 16, scale))
+        rows = [
+            (round(ns_to_us(s), 1), round(ns_to_us(f), 1))
+            for s, f in r.start_finish_pairs()
+        ]
+        fig.add_table(v, ("start (us)", "finish (us)"), rows)
+        fig.notes.append(
+            f"{v}: start-finish correlation {r.start_finish_correlation():+.3f}, "
+            f"finish spread {ns_to_us(r.finish_spread_ns()):.1f} us"
+        )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 1-3: baseline unfairness (Sec. III-E)
+# ---------------------------------------------------------------------------
+
+
+def fig1(scale: str = "scaled") -> FigureResult:
+    """Jain index & queue depth, 16-1 incast, HPCC and Swift baselines."""
+    fig = _incast_figure(
+        "1(a,b)",
+        "16-1 incast: Jain index and queue depth (HPCC baselines)",
+        FIG1_HPCC_VARIANTS,
+        16,
+        scale,
+    )
+    swift = _incast_figure(
+        "1(c,d)",
+        "16-1 incast: Jain index and queue depth (Swift baselines)",
+        FIG1_SWIFT_VARIANTS,
+        16,
+        scale,
+    )
+    merged = FigureResult(figure="1", title="Incast fairness and queues (baselines)")
+    for name, rows in fig.tables.items():
+        merged.add_table(f"hpcc/{name}", fig.columns[name], rows)
+    for name, rows in swift.tables.items():
+        merged.add_table(f"swift/{name}", swift.columns[name], rows)
+    merged.notes = fig.notes + swift.notes
+    return merged
+
+
+def fig2(scale: str = "scaled") -> FigureResult:
+    """Start vs finish time, 16-1 staggered incast, HPCC baselines."""
+    return _start_finish_figure(
+        "2", "Start vs finish time (HPCC baselines)", FIG1_HPCC_VARIANTS, scale
+    )
+
+
+def fig3(scale: str = "scaled") -> FigureResult:
+    """Start vs finish time, 16-1 staggered incast, Swift baselines."""
+    return _start_finish_figure(
+        "3", "Start vs finish time (Swift baselines)", FIG1_SWIFT_VARIANTS, scale
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: fluid model
+# ---------------------------------------------------------------------------
+
+
+def fig4(scale: str = "scaled") -> FigureResult:
+    """Fluid-model fairness difference between the two MD schedules."""
+    params = FluidModelParams()
+    t, diff = fig4_series(params=params)
+    fig = FigureResult(
+        figure="4",
+        title="Fluid model: (R1-R0) - (S1-S0) over time",
+    )
+    idx = np.linspace(0, len(t) - 1, 40).astype(int)
+    fig.add_table(
+        "fairness-difference",
+        ("t (us)", "diff (bytes/ns)"),
+        [(round(ns_to_us(t[i]), 1), round(float(diff[i]), 4)) for i in idx],
+    )
+    fig.add_table(
+        "properties",
+        ("property", "value"),
+        [
+            ("initial slope condition (1/r < (C1+C0)/(s*MTU))", initial_slope_condition(params)),
+            ("peak difference (bytes/ns)", round(float(diff.max()), 4)),
+            ("peak time (us)", round(ns_to_us(float(t[np.argmax(diff)])), 1)),
+            ("difference at t_end (bytes/ns)", round(float(diff[-1]), 4)),
+        ],
+    )
+    fig.notes.append(
+        "r=30000 ns, s=30 ACKs, MTU=1000 B, beta=0.5, rates 100/50 Gbps "
+        "(paper Fig. 4 caption)."
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 5, 6: VAI + SF incast (Sec. VI-B-1)
+# ---------------------------------------------------------------------------
+
+
+def fig5(scale: str = "scaled") -> FigureResult:
+    """HPCC incast with VAI+SF: 16-1 (a, b) and 96-1 (c, d)."""
+    small = _incast_figure(
+        "5(a,b)",
+        "16-1 incast with HPCC VAI SF",
+        FIG5_HPCC_VARIANTS,
+        16,
+        scale,
+    )
+    big_n = _large_incast_degree(scale)
+    large = _incast_figure(
+        "5(c,d)",
+        f"{big_n}-1 incast with HPCC VAI SF",
+        FIG5_HPCC_VARIANTS,
+        big_n,
+        scale,
+        include_series=False,
+    )
+    merged = FigureResult(figure="5", title="HPCC incast with VAI + SF")
+    for name, rows in small.tables.items():
+        merged.add_table(f"16-1/{name}", small.columns[name], rows)
+    for name, rows in large.tables.items():
+        merged.add_table(f"{big_n}-1/{name}", large.columns[name], rows)
+    merged.notes = small.notes + large.notes
+    return merged
+
+
+def fig6(scale: str = "scaled") -> FigureResult:
+    """Swift incast with VAI+SF: 16-1 (a, b) and 96-1 (c, d)."""
+    small = _incast_figure(
+        "6(a,b)",
+        "16-1 incast with Swift VAI SF",
+        FIG6_SWIFT_VARIANTS,
+        16,
+        scale,
+    )
+    big_n = _large_incast_degree(scale)
+    large = _incast_figure(
+        "6(c,d)",
+        f"{big_n}-1 incast with Swift VAI SF",
+        FIG6_SWIFT_VARIANTS,
+        big_n,
+        scale,
+        include_series=False,
+    )
+    merged = FigureResult(figure="6", title="Swift incast with VAI + SF")
+    for name, rows in small.tables.items():
+        merged.add_table(f"16-1/{name}", small.columns[name], rows)
+    for name, rows in large.tables.items():
+        merged.add_table(f"{big_n}-1/{name}", large.columns[name], rows)
+    merged.notes = small.notes + large.notes
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: topology
+# ---------------------------------------------------------------------------
+
+
+def fig7(scale: str = "scaled") -> FigureResult:
+    """Structural validation of the Fig. 7 fat-tree (paper-scale build)."""
+    params = FatTreeParams()  # always the paper's shape; building is cheap
+    topo = build_fattree(params)
+    net = topo.network
+    hosts = topo.hosts
+    # Hop-count extremes: same ToR (2 links), same pod (4), cross pod (6).
+    same_tor = net.hop_count(hosts[0].node_id, hosts[1].node_id)
+    same_pod = net.hop_count(
+        hosts[0].node_id, hosts[params.hosts_per_tor].node_id
+    )
+    cross_pod = net.hop_count(
+        hosts[0].node_id,
+        hosts[params.hosts_per_tor * params.tors_per_pod].node_id,
+    )
+    fig = FigureResult(figure="7", title="Fat-tree topology structure")
+    fig.add_table(
+        "structure",
+        ("property", "value"),
+        [
+            ("hosts", len(hosts)),
+            ("ToR switches", params.n_tors),
+            ("Agg switches", params.n_aggs),
+            ("spine switches", params.spines),
+            ("host link", f"{params.host_rate_bps / 1e9:g} Gbps"),
+            ("fabric link", f"{params.fabric_rate_bps / 1e9:g} Gbps"),
+            ("links same-ToR pair", same_tor),
+            ("links same-pod pair", same_pod),
+            ("links cross-pod pair", cross_pod),
+            ("switch hops cross-pod (paper: max 5)", cross_pod - 1),
+        ],
+    )
+    fig.notes.append(
+        "Paper: 320 hosts, 5 pods x (4 ToR + 4 Agg), 16 spines, 100G/400G "
+        "links, 1 us propagation per link."
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 8, 9: start vs finish with VAI + SF
+# ---------------------------------------------------------------------------
+
+
+def fig8(scale: str = "scaled") -> FigureResult:
+    """Start vs finish, 16-1 incast: HPCC default vs HPCC VAI SF."""
+    return _start_finish_figure(
+        "8", "Start vs finish (HPCC vs HPCC VAI SF)", ("hpcc", "hpcc-vai-sf"), scale
+    )
+
+
+def fig9(scale: str = "scaled") -> FigureResult:
+    """Start vs finish, 16-1 incast: Swift default vs Swift VAI SF."""
+    return _start_finish_figure(
+        "9", "Start vs finish (Swift vs Swift VAI SF)", ("swift", "swift-vai-sf"), scale
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-13: datacenter FCT slowdowns
+# ---------------------------------------------------------------------------
+
+
+def _dc_cfg(variant: str, workload: str, scale: str):
+    if scale == "paper":
+        return paper_datacenter(variant, workload)
+    return scaled_datacenter(variant, workload)
+
+
+def _long_flow_threshold_bytes(scale: str) -> float:
+    """The paper's "long flow" boundary (1 MB), scaled with flow sizes."""
+    return 1_000_000.0 if scale == "paper" else 100_000.0
+
+
+def _dc_figure(
+    figure: str,
+    title: str,
+    workload: str,
+    percentile: float,
+    scale: str,
+) -> FigureResult:
+    fig = FigureResult(figure=figure, title=title)
+    threshold = _long_flow_threshold_bytes(scale)
+    tail_pct = percentile if scale == "paper" else min(percentile, 99.0)
+    n_buckets = 100 if scale == "paper" else 12
+    for variant in DATACENTER_VARIANTS:
+        result = run_datacenter_cached(_dc_cfg(variant, workload, scale))
+        buckets = slowdown_by_size(
+            result.records, percentile=tail_pct, n_buckets=n_buckets
+        )
+        fig.add_table(
+            variant,
+            ("size <= (KB)", f"p{tail_pct:g} slowdown", "flows"),
+            [
+                (round(b.size_max_bytes / 1000.0, 1), round(b.slowdown, 2), b.count)
+                for b in buckets
+            ],
+        )
+        long_tail = tail_slowdown_above(result.records, threshold, tail_pct)
+        stats = summarize(result.records)
+        fig.notes.append(
+            f"{variant}: {result.n_completed}/{result.n_offered} flows completed, "
+            f"long-flow (> {threshold / 1000:g} KB) p{tail_pct:g} slowdown = "
+            f"{long_tail if long_tail is None else round(long_tail, 2)}, "
+            f"overall p50 = {stats.get('p50_slowdown', float('nan')):.2f}"
+        )
+    if scale != "paper":
+        fig.notes.append(
+            f"Scaled run: 16-host fat-tree at 10/40 Gbps, sizes x0.1 "
+            f"(long flow = > {threshold / 1000:g} KB), percentile capped at "
+            f"p{tail_pct:g} for the available flow count."
+        )
+    return fig
+
+
+def fig10(scale: str = "scaled") -> FigureResult:
+    """99.9% FCT slowdown vs flow size, Hadoop trace."""
+    return _dc_figure(
+        "10", "Tail FCT slowdown (Hadoop)", "hadoop", 99.9, scale
+    )
+
+
+def fig11(scale: str = "scaled") -> FigureResult:
+    """99.9% FCT slowdown vs flow size, WebSearch + Storage mix."""
+    return _dc_figure(
+        "11",
+        "Tail FCT slowdown (WebSearch + Storage)",
+        "websearch+storage",
+        99.9,
+        scale,
+    )
+
+
+def fig12(scale: str = "scaled") -> FigureResult:
+    """Median FCT slowdown vs flow size, Hadoop trace."""
+    return _dc_figure("12", "Median FCT slowdown (Hadoop)", "hadoop", 50.0, scale)
+
+
+def fig13(scale: str = "scaled") -> FigureResult:
+    """Median FCT slowdown vs flow size, WebSearch + Storage mix."""
+    return _dc_figure(
+        "13",
+        "Median FCT slowdown (WebSearch + Storage)",
+        "websearch+storage",
+        50.0,
+        scale,
+    )
+
+
+ALL_FIGURES = {
+    "1": fig1,
+    "2": fig2,
+    "3": fig3,
+    "4": fig4,
+    "5": fig5,
+    "6": fig6,
+    "7": fig7,
+    "8": fig8,
+    "9": fig9,
+    "10": fig10,
+    "11": fig11,
+    "12": fig12,
+    "13": fig13,
+}

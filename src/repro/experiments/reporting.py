@@ -1,0 +1,46 @@
+"""Plain-text rendering of figure reproductions."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .figures import FigureResult
+
+
+def format_table(columns: Sequence[str], rows: Iterable[tuple]) -> str:
+    """Render rows as an aligned text table."""
+    rows = [tuple("" if v is None else str(v) for v in row) for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render(result: FigureResult, *, max_series_rows: int = 12) -> str:
+    """Render a whole :class:`FigureResult` for the terminal."""
+    out: List[str] = [f"=== Figure {result.figure}: {result.title} ==="]
+    for name, rows in result.tables.items():
+        columns = result.columns.get(name, ())
+        shown = rows
+        truncated = ""
+        is_series = name.startswith(("jain:", "queue:")) or "/jain:" in name or "/queue:" in name
+        if is_series and len(rows) > max_series_rows:
+            step = max(1, len(rows) // max_series_rows)
+            shown = rows[::step]
+            truncated = f"  (showing every {step}th of {len(rows)} samples)"
+        out.append(f"\n-- {name}{truncated}")
+        out.append(format_table(columns, shown))
+    if result.notes:
+        out.append("\nNotes:")
+        out.extend(f"  * {n}" for n in result.notes)
+    return "\n".join(out)

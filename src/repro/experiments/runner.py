@@ -1,0 +1,252 @@
+"""Experiment execution: build topology + workload + protocol, run, measure.
+
+Two entry points:
+
+* :func:`run_incast` — the Sec. III-D / VI-B-1 microbenchmark, returning
+  Jain-index and queue-depth time series plus start/finish pairs;
+* :func:`run_datacenter` — the Sec. VI-B-2 trace-driven fat-tree runs,
+  returning per-flow slowdown records.
+
+Both are deterministic for a given config (seeded RNGs everywhere) and cache
+their results process-wide so that figure pairs sharing data (10/12, 11/13)
+pay for each simulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cc import CCEnv, make_cc, needs_red, uses_cnp
+from ..metrics.fairness import convergence_time_ns, jain_series
+from ..metrics.fct import FlowRecord, collect_records
+from ..metrics.queues import QueueStats, queue_stats
+from ..sim.flow import Flow
+from ..sim.monitor import GoodputMonitor, QueueMonitor
+from ..sim.network import Network
+from ..topology.fattree import build_fattree
+from ..topology.star import build_star
+from ..workloads.distributions import ScaledDistribution, get_distribution
+from ..workloads.incast import staggered_incast
+from ..workloads.poisson import generate_poisson_traffic
+from .config import DatacenterConfig, IncastConfig, red_for_rate
+
+
+def make_env(network: Network, src: int, dst: int, mtu: int = 1000) -> CCEnv:
+    """Per-flow protocol environment from topology facts."""
+    host = network.nodes[src]
+    return CCEnv(
+        line_rate_bps=host.ports[0].spec.rate_bps,
+        base_rtt_ns=network.path_rtt_ns(src, dst, mtu),
+        mtu_bytes=mtu,
+        hops=network.hop_count(src, dst),
+        min_bdp_bytes=network.min_bdp_bytes(src, dst),
+        rng=network.rng,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Incast
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IncastResult:
+    """Everything Figs. 1-3, 5, 6, 8, 9 need from one incast run."""
+
+    config: IncastConfig
+    flows: List[Flow]
+    jain_times_ns: np.ndarray
+    jain_values: np.ndarray
+    queue_times_ns: np.ndarray
+    queue_values_bytes: np.ndarray
+    queue: QueueStats
+    convergence_ns: Optional[float]
+    last_start_ns: float
+    all_completed: bool
+    events_executed: int
+
+    def start_finish_pairs(self) -> List[Tuple[float, float]]:
+        """(start, finish) per flow in start order — Figs. 2/3/8/9 data."""
+        done = [f for f in self.flows if f.completed]
+        return sorted((f.start_time, f.finish_time) for f in done)
+
+    def finish_spread_ns(self) -> float:
+        """Max minus min finish time (small = flows finish together)."""
+        finishes = [f.finish_time for f in self.flows if f.completed]
+        if not finishes:
+            return float("nan")
+        return max(finishes) - min(finishes)
+
+    def start_finish_correlation(self) -> float:
+        """Pearson correlation of start vs finish time.
+
+        Default HPCC/Swift show a *negative* correlation (later flows finish
+        first — the paper's unfairness signature); fair variants push it
+        toward zero or positive.
+        """
+        pairs = self.start_finish_pairs()
+        if len(pairs) < 3:
+            return float("nan")
+        starts, finishes = np.array(pairs).T
+        if starts.std() == 0 or np.std(finishes) == 0:
+            return 0.0
+        return float(np.corrcoef(starts, finishes)[0, 1])
+
+
+def run_incast(cfg: IncastConfig) -> IncastResult:
+    """Run one staggered incast and collect fairness/queue series."""
+    red = red_for_rate(cfg.rate_bps) if needs_red(cfg.variant) else None
+    topo = build_star(
+        cfg.n_senders,
+        rate_bps=cfg.rate_bps,
+        prop_delay_ns=cfg.prop_delay_ns,
+        seed=cfg.seed,
+        red=red,
+    )
+    net = topo.network
+    receiver = topo.hosts[-1].node_id
+    specs = staggered_incast(
+        cfg.n_senders,
+        flow_size_bytes=cfg.flow_size_bytes,
+        flows_per_batch=cfg.flows_per_batch,
+        batch_interval_ns=cfg.batch_interval_ns,
+    )
+    flows: List[Flow] = []
+    for spec in specs:
+        src = topo.hosts[spec.sender_index].node_id
+        env = make_env(net, src, receiver)
+        cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
+        flow = Flow(
+            net.next_flow_id(), src, receiver, spec.size_bytes, spec.start_time_ns
+        )
+        flow.use_cnp = uses_cnp(cfg.variant)
+        net.add_flow(flow, cc)
+        flows.append(flow)
+
+    qmon = QueueMonitor(
+        net.sim, topo.bottleneck_ports, cfg.sample_interval_ns, aggregate="sum"
+    ).start()
+    gmon = GoodputMonitor(net.sim, flows, net.nodes, cfg.goodput_interval_ns).start()
+
+    completed = net.run_until_flows_complete(timeout_ns=cfg.timeout_ns)
+    qmon.stop()
+    gmon.stop()
+
+    qt, qv = qmon.series()
+    gt, rates = gmon.rates_bps()
+    jt, jv = jain_series(gt, rates, flows)
+    last_start = max(f.start_time for f in flows)
+    return IncastResult(
+        config=cfg,
+        flows=flows,
+        jain_times_ns=jt,
+        jain_values=jv,
+        queue_times_ns=qt,
+        queue_values_bytes=qv,
+        queue=queue_stats(qt, qv),
+        convergence_ns=convergence_time_ns(jt, jv, threshold=0.9, after_ns=last_start),
+        last_start_ns=last_start,
+        all_completed=completed,
+        events_executed=net.sim.events_executed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Datacenter
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DatacenterResult:
+    """Per-flow slowdown records from one trace-driven run."""
+
+    config: DatacenterConfig
+    records: List[FlowRecord]
+    n_offered: int
+    n_completed: int
+    events_executed: int
+    drops: int
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.n_completed / self.n_offered if self.n_offered else 0.0
+
+
+def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
+    """Run one fat-tree trace: Poisson arrivals for ``duration``, then drain."""
+    red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
+    topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)
+    net = topo.network
+    dist = get_distribution(cfg.workload)
+    if cfg.size_scale != 1.0:
+        dist = ScaledDistribution(dist, cfg.size_scale)
+    specs = generate_poisson_traffic(
+        n_hosts=len(topo.hosts),
+        host_rate_bps=cfg.fattree.host_rate_bps,
+        load=cfg.load,
+        duration_ns=cfg.duration_ns,
+        distribution=dist,
+        seed=cfg.seed,
+    )
+    # Environments depend only on (src, dst); cache them.
+    env_cache: Dict[Tuple[int, int], CCEnv] = {}
+    flows: List[Flow] = []
+    for spec in specs:
+        src = topo.hosts[spec.src_index].node_id
+        dst = topo.hosts[spec.dst_index].node_id
+        key = (src, dst)
+        env = env_cache.get(key)
+        if env is None:
+            env = make_env(net, src, dst)
+            env_cache[key] = env
+        cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
+        flow = Flow(
+            net.next_flow_id(), src, dst, spec.size_bytes, spec.start_time_ns
+        )
+        flow.use_cnp = uses_cnp(cfg.variant)
+        net.add_flow(flow, cc)
+        flows.append(flow)
+
+    net.run_until_flows_complete(timeout_ns=cfg.duration_ns + cfg.drain_timeout_ns)
+    records = collect_records(net, flows)
+    return DatacenterResult(
+        config=cfg,
+        records=records,
+        n_offered=len(flows),
+        n_completed=sum(1 for f in flows if f.completed),
+        events_executed=net.sim.events_executed,
+        drops=net.total_drops(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide result cache (figures 10/12 and 11/13 share simulations)
+# ---------------------------------------------------------------------------
+
+_INCAST_CACHE: Dict[IncastConfig, IncastResult] = {}
+_DC_CACHE: Dict[DatacenterConfig, DatacenterResult] = {}
+
+
+def run_incast_cached(cfg: IncastConfig) -> IncastResult:
+    result = _INCAST_CACHE.get(cfg)
+    if result is None:
+        result = run_incast(cfg)
+        _INCAST_CACHE[cfg] = result
+    return result
+
+
+def run_datacenter_cached(cfg: DatacenterConfig) -> DatacenterResult:
+    result = _DC_CACHE.get(cfg)
+    if result is None:
+        result = run_datacenter(cfg)
+        _DC_CACHE[cfg] = result
+    return result
+
+
+def clear_caches() -> None:
+    """Drop cached results (benchmarks measuring cold runs call this)."""
+    _INCAST_CACHE.clear()
+    _DC_CACHE.clear()

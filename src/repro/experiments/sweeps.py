@@ -1,0 +1,139 @@
+"""Parameter sweeps: multi-seed confidence, load sweeps, protocol sweeps.
+
+The paper reports single-run figures; a reproduction should quantify run-to-
+run variance and sensitivity.  These helpers run a config across seeds or a
+parameter across values and aggregate the headline metrics with means and
+standard deviations (NumPy on the analysis side, per the HPC guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.fct import summarize, tail_slowdown_above
+from .config import DatacenterConfig, IncastConfig
+from .runner import (
+    DatacenterResult,
+    IncastResult,
+    run_datacenter_cached,
+    run_incast_cached,
+)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and standard deviation of one scalar metric across runs."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        arr = np.asarray([v for v in values if v == v], dtype=float)  # drop NaN
+        if arr.size == 0:
+            return cls(float("nan"), float("nan"), 0)
+        return cls(float(arr.mean()), float(arr.std()), int(arr.size))
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.3g} ± {self.std:.2g} (n={self.n})"
+
+
+# ---------------------------------------------------------------------------
+# Incast seed sweeps
+# ---------------------------------------------------------------------------
+
+
+def incast_seed_sweep(
+    base: IncastConfig, seeds: Sequence[int]
+) -> Dict[str, Aggregate]:
+    """Run an incast config across seeds; aggregate the figure metrics.
+
+    Returns aggregates for: convergence time past last start (ns), mean and
+    max queue (bytes), finish spread (ns), start-finish correlation.
+    """
+    results = [run_incast_cached(replace(base, seed=s)) for s in seeds]
+    conv = [
+        (r.convergence_ns - r.last_start_ns)
+        if r.convergence_ns is not None
+        else float("nan")
+        for r in results
+    ]
+    return {
+        "convergence_ns": Aggregate.of(conv),
+        "mean_queue_bytes": Aggregate.of([r.queue.mean_bytes for r in results]),
+        "max_queue_bytes": Aggregate.of([r.queue.max_bytes for r in results]),
+        "finish_spread_ns": Aggregate.of([r.finish_spread_ns() for r in results]),
+        "start_finish_corr": Aggregate.of(
+            [r.start_finish_correlation() for r in results]
+        ),
+    }
+
+
+def compare_variants_across_seeds(
+    make_config: Callable[[str], IncastConfig],
+    variants: Sequence[str],
+    seeds: Sequence[int],
+) -> Dict[str, Dict[str, Aggregate]]:
+    """Seed-sweep several variants with paired seeds for fair comparison."""
+    return {
+        v: incast_seed_sweep(make_config(v), seeds) for v in variants
+    }
+
+
+# ---------------------------------------------------------------------------
+# Datacenter sweeps
+# ---------------------------------------------------------------------------
+
+
+def datacenter_seed_sweep(
+    base: DatacenterConfig,
+    seeds: Sequence[int],
+    *,
+    long_flow_bytes: float = 100_000.0,
+    tail_percentile: float = 90.0,
+) -> Dict[str, Aggregate]:
+    """Run a datacenter config across seeds; aggregate slowdown metrics."""
+    results = [run_datacenter_cached(replace(base, seed=s)) for s in seeds]
+    p50, p99, tail = [], [], []
+    for r in results:
+        s = summarize(r.records)
+        p50.append(s.get("p50_slowdown", float("nan")))
+        p99.append(s.get("p99_slowdown", float("nan")))
+        t = tail_slowdown_above(r.records, long_flow_bytes, tail_percentile)
+        tail.append(t if t is not None else float("nan"))
+    return {
+        "p50_slowdown": Aggregate.of(p50),
+        "p99_slowdown": Aggregate.of(p99),
+        f"long_flow_p{tail_percentile:g}": Aggregate.of(tail),
+        "completion_fraction": Aggregate.of(
+            [r.completion_fraction for r in results]
+        ),
+    }
+
+
+def load_sweep(
+    base: DatacenterConfig,
+    loads: Sequence[float],
+    *,
+    long_flow_bytes: float = 100_000.0,
+    tail_percentile: float = 90.0,
+) -> List[Tuple[float, Dict[str, Aggregate]]]:
+    """Sweep offered load; return per-load aggregates (single seed each).
+
+    The paper runs only 50% load; this maps how the fairness win scales with
+    pressure — at low load there is little contention to be unfair about,
+    at high load convergence speed matters more.
+    """
+    out = []
+    for load in loads:
+        cfg = replace(base, load=load)
+        agg = datacenter_seed_sweep(
+            cfg, [cfg.seed], long_flow_bytes=long_flow_bytes,
+            tail_percentile=tail_percentile,
+        )
+        out.append((load, agg))
+    return out

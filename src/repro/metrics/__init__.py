@@ -1,0 +1,59 @@
+"""Analysis metrics: fairness, FCT slowdown, queue depth, throughput."""
+
+from .fairness import (
+    active_mask,
+    convergence_time_ns,
+    jain_index,
+    jain_series,
+    mean_index_after,
+)
+from .fct import (
+    FlowRecord,
+    SlowdownBucket,
+    collect_records,
+    ideal_fct_ns,
+    slowdown_by_size,
+    summarize,
+    tail_slowdown_above,
+)
+from .queues import QueueStats, queue_stats, stats_after
+from .throughput import (
+    aggregate_goodput_bps,
+    per_flow_average_rate_bps,
+    port_utilization,
+)
+from .timeseries import (
+    ecdf,
+    first_crossing,
+    moving_average,
+    normalize_to_reference,
+    resample,
+    time_above,
+)
+
+__all__ = [
+    "FlowRecord",
+    "QueueStats",
+    "SlowdownBucket",
+    "active_mask",
+    "aggregate_goodput_bps",
+    "collect_records",
+    "convergence_time_ns",
+    "ecdf",
+    "first_crossing",
+    "ideal_fct_ns",
+    "moving_average",
+    "normalize_to_reference",
+    "resample",
+    "time_above",
+    "jain_index",
+    "jain_series",
+    "mean_index_after",
+    "per_flow_average_rate_bps",
+    "port_utilization",
+    "queue_stats",
+    "slowdown_by_size",
+    "stats_after",
+    "summarize",
+    "tail_slowdown_above",
+]

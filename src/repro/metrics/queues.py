@@ -1,0 +1,53 @@
+"""Queue-depth statistics (Figs. 1b/1d, 5b/5d, 6b/6d).
+
+The paper's queue plots show two properties worth quantifying:
+
+* the **level** a protocol sustains (max / mean / p99 depth), and
+* the **oscillation** amplitude — higher additive increase causes "larger
+  queue oscillations" (Sec. III-E), which we measure as the standard
+  deviation of the depth around its local mean plus the mean absolute
+  sample-to-sample change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Summary of one queue-depth time series (bytes)."""
+
+    max_bytes: float
+    mean_bytes: float
+    p99_bytes: float
+    oscillation_bytes: float  # std of the series (amplitude of swings)
+    mean_abs_delta_bytes: float  # sample-to-sample movement
+
+
+def queue_stats(times_ns: np.ndarray, depths: np.ndarray) -> QueueStats:
+    """Compute :class:`QueueStats` from a sampled depth series."""
+    depths = np.asarray(depths, dtype=float)
+    if depths.size == 0:
+        return QueueStats(0.0, 0.0, 0.0, 0.0, 0.0)
+    deltas = np.abs(np.diff(depths)) if depths.size > 1 else np.zeros(1)
+    return QueueStats(
+        max_bytes=float(depths.max()),
+        mean_bytes=float(depths.mean()),
+        p99_bytes=float(np.percentile(depths, 99)),
+        oscillation_bytes=float(depths.std()),
+        mean_abs_delta_bytes=float(deltas.mean()),
+    )
+
+
+def stats_after(
+    times_ns: np.ndarray, depths: np.ndarray, after_ns: float
+) -> QueueStats:
+    """Queue statistics restricted to ``t >= after_ns`` (steady state)."""
+    times_ns = np.asarray(times_ns, dtype=float)
+    depths = np.asarray(depths, dtype=float)
+    sel = times_ns >= after_ns
+    return queue_stats(times_ns[sel], depths[sel])

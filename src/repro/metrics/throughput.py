@@ -1,0 +1,39 @@
+"""Throughput and utilization accounting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.flow import Flow
+from ..sim.port import Port
+from ..units import SEC
+
+
+def port_utilization(port: Port, duration_ns: float) -> float:
+    """Fraction of a port's capacity used over a window ending now.
+
+    Uses the cumulative tx counter, so callers should
+    :meth:`Port.reset_counters` / snapshot ``tx_bytes`` at window start
+    (the experiment runner snapshots).
+    """
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    capacity_bytes = port.spec.rate_bps / 8.0 * duration_ns / SEC
+    return port.tx_bytes / capacity_bytes if capacity_bytes > 0 else 0.0
+
+
+def aggregate_goodput_bps(flows: Sequence[Flow], duration_ns: float) -> float:
+    """Total delivered payload of completed flows over a duration, as bps."""
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    total_bytes = sum(f.size for f in flows if f.completed)
+    return total_bytes * 8.0 / duration_ns * SEC
+
+
+def per_flow_average_rate_bps(flow: Flow) -> float:
+    """A completed flow's average goodput (size over FCT)."""
+    if not flow.completed or flow.fct is None or flow.fct <= 0:
+        raise ValueError(f"flow {flow.flow_id} has not completed")
+    return flow.size * 8.0 / flow.fct * SEC

@@ -1,0 +1,126 @@
+"""Time-series utilities shared by the analysis paths.
+
+Small, NumPy-vectorized helpers for working with the (time, value) series
+the monitors produce: smoothing, resampling onto uniform grids, empirical
+CDFs, and threshold-crossing searches.  They exist so that experiment code
+and user notebooks do not re-implement them with subtle off-by-one
+differences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered-as-possible moving average with edge shrinkage.
+
+    The first/last ``window//2`` points average over the available samples
+    only, so the output has the same length as the input and no phantom
+    zeros at the edges.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(min(window, values.size))
+    sums = np.convolve(values, kernel, mode="same")
+    counts = np.convolve(np.ones_like(values), kernel, mode="same")
+    return sums / counts
+
+
+def resample(
+    times: np.ndarray,
+    values: np.ndarray,
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Sample a step series onto a new time grid (previous-value hold).
+
+    Grid points before the first sample take the first value.  This matches
+    how queue/goodput monitors represent state: the value holds until the
+    next sample.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if times.size == 0:
+        raise ValueError("cannot resample an empty series")
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    idx = np.searchsorted(times, grid, side="right") - 1
+    idx = np.clip(idx, 0, times.size - 1)
+    return values[idx]
+
+
+def ecdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted values, P(X <= x))``."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        return values, values
+    probs = np.arange(1, values.size + 1) / values.size
+    return values, probs
+
+
+def time_above(
+    times: np.ndarray, values: np.ndarray, threshold: float
+) -> float:
+    """Total time (same units as ``times``) the step series spends above a
+    threshold.  The last sample's value is assumed to hold for one median
+    sampling interval."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return 0.0
+    if times.size == 1:
+        return 0.0
+    intervals = np.diff(times)
+    above = values[:-1] > threshold
+    total = float(intervals[above].sum())
+    if values[-1] > threshold:
+        total += float(np.median(intervals))
+    return total
+
+
+def first_crossing(
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold: float,
+    *,
+    direction: str = "up",
+) -> Optional[float]:
+    """Time of the first crossing of ``threshold`` (None if never).
+
+    ``direction='up'`` finds the first sample at/above the threshold whose
+    predecessor was below it (or the first sample if it already qualifies);
+    ``'down'`` is the mirror image.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if direction not in ("up", "down"):
+        raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+    if times.size == 0:
+        return None
+    if direction == "up":
+        qualifies = values >= threshold
+    else:
+        qualifies = values <= threshold
+    hits = np.flatnonzero(qualifies)
+    return float(times[hits[0]]) if hits.size else None
+
+
+def normalize_to_reference(
+    series: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Element-wise ratio series/reference with safe zero handling.
+
+    Used for 'relative to default' plots; positions where the reference is
+    zero yield NaN rather than raising.
+    """
+    series = np.asarray(series, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    out = np.full_like(series, np.nan)
+    np.divide(series, reference, out=out, where=reference != 0)
+    return out

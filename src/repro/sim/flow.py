@@ -1,0 +1,127 @@
+"""Flow descriptors and per-endpoint runtime state.
+
+A :class:`Flow` is the unit of workload: ``size`` payload bytes from ``src``
+to ``dst`` starting at ``start_time``.  The same object is visible to both
+endpoints (a simulation shortcut — the "wire format" state they could not
+share, like sequence numbers, lives in the per-endpoint state classes).
+
+Completion semantics match the HPCC artifact: a flow finishes when the
+*sender* receives the ACK covering its final byte, so FCT includes the final
+ACK's return trip.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cc.base import CongestionControl
+
+
+class Flow:
+    """Workload-level description plus completion bookkeeping."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "start_time",
+        "priority",
+        "ecmp_hash",
+        "use_cnp",
+        "finish_time",
+        "started",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        start_time: float,
+        priority: int = 0,
+        ecmp_hash: Optional[int] = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"flow size must be positive, got {size}")
+        if src == dst:
+            raise ValueError(f"flow {flow_id}: src == dst == {src}")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.start_time = start_time
+        self.priority = priority
+        # A flow-stable hash pins the ECMP path; default derives from the id
+        # with a multiplicative scramble so consecutive ids spread out.
+        self.ecmp_hash = (
+            ecmp_hash if ecmp_hash is not None else (flow_id * 2654435761) & 0xFFFFFFFF
+        )
+        self.use_cnp = False
+        self.finish_time: Optional[float] = None
+        self.started = False
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time in nanoseconds (None until completed)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        done = f"fct={self.fct:.0f}ns" if self.completed else "running"
+        return (
+            f"<Flow {self.flow_id} {self.src}->{self.dst} size={self.size}B "
+            f"start={self.start_time:.0f}ns {done}>"
+        )
+
+
+class SenderState:
+    """Sender-side runtime state for one flow."""
+
+    __slots__ = (
+        "flow",
+        "cc",
+        "next_seq",
+        "acked",
+        "next_allowed",
+        "timer",
+        "packets_sent",
+        "last_ack_time",
+    )
+
+    def __init__(self, flow: Flow, cc: "CongestionControl"):
+        self.flow = flow
+        self.cc = cc
+        self.next_seq = 0
+        self.acked = 0
+        self.next_allowed = 0.0
+        self.timer = None
+        self.packets_sent = 0
+        self.last_ack_time = 0.0
+
+    @property
+    def inflight(self) -> int:
+        return self.next_seq - self.acked
+
+    @property
+    def done_sending(self) -> bool:
+        return self.next_seq >= self.flow.size
+
+
+class ReceiverState:
+    """Receiver-side runtime state for one flow."""
+
+    __slots__ = ("flow", "received", "last_cnp_time", "packets_received")
+
+    def __init__(self, flow: Flow):
+        self.flow = flow
+        self.received = 0  # contiguous bytes received
+        self.last_cnp_time = -float("inf")
+        self.packets_received = 0

@@ -1,0 +1,208 @@
+"""End-host model: sender scheduling (window + pacing) and receiver logic.
+
+Senders follow the RDMA NIC model the paper assumes:
+
+* a flow starts sending **at line rate** — its congestion-control module
+  initializes window/rate to the line-rate BDP (Sec. IV: "new flows in RDMA
+  networks often start sending packets at line rate");
+* transmission is gated by both a byte window (inflight < cwnd) and an
+  optional pacing rate, whichever is more restrictive;
+* one ACK is generated per received data packet (no coalescing), echoing the
+  INT telemetry, the ECN mark, and the sender's timestamp;
+* for DCQCN flows the receiver emits at most one CNP per ``cnp_interval_ns``
+  while marked packets keep arriving.
+
+The send loop re-arms itself on ACK arrival (window opens) or via a pacing
+timer, so there is no polling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from .engine import Simulator
+from .flow import Flow, ReceiverState, SenderState
+from .node import Node
+from .packet import ACK, CNP, DATA, AckContext, Packet
+from .port import Port
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cc.base import CongestionControl
+
+#: Default payload bytes per packet (MTU), as used throughout the paper.
+DEFAULT_MTU = 1000
+#: DCQCN: minimum spacing between CNPs for one flow (50 microseconds).
+DEFAULT_CNP_INTERVAL_NS = 50_000.0
+
+
+class Host(Node):
+    """A single-NIC end host running sender and receiver logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        name: str,
+        *,
+        mtu: int = DEFAULT_MTU,
+        cnp_interval_ns: float = DEFAULT_CNP_INTERVAL_NS,
+    ):
+        super().__init__(sim, node_id, name)
+        self.mtu = mtu
+        self.cnp_interval_ns = cnp_interval_ns
+        self.senders: Dict[int, SenderState] = {}
+        self.receivers: Dict[int, ReceiverState] = {}
+        self.completion_callbacks: List[Callable[[Flow], None]] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def nic(self) -> Port:
+        """The host's single NIC egress port."""
+        if not self.ports:
+            raise RuntimeError(f"host {self.name} has no NIC port attached")
+        return self.ports[0]
+
+    @property
+    def line_rate_bps(self) -> float:
+        return self.nic.spec.rate_bps
+
+    # -- sender ---------------------------------------------------------------
+
+    def add_sender_flow(self, flow: Flow, cc: "CongestionControl") -> SenderState:
+        """Register an outgoing flow; transmission starts at flow.start_time."""
+        if flow.flow_id in self.senders:
+            raise ValueError(f"flow {flow.flow_id} already registered on {self.name}")
+        state = SenderState(flow, cc)
+        cc.bind(state, self)
+        self.senders[flow.flow_id] = state
+        self.sim.schedule_at(max(flow.start_time, self.sim.now()), self._start_flow, state)
+        return state
+
+    def _start_flow(self, state: SenderState) -> None:
+        state.flow.started = True
+        state.cc.on_flow_start(self.sim.now())
+        self._try_send(state)
+
+    def _try_send(self, state: SenderState) -> None:
+        """Emit as many packets as window and pacing currently allow."""
+        flow = state.flow
+        sim = self.sim
+        mtu = self.mtu
+        nic = self.nic
+        while state.next_seq < flow.size:
+            cc = state.cc
+            if state.inflight >= cc.window_bytes:
+                return  # window-blocked; ACK arrival re-triggers
+            now = sim.now()
+            if now < state.next_allowed:
+                self._arm_timer(state, state.next_allowed)
+                return
+            payload = min(mtu, flow.size - state.next_seq)
+            pkt = Packet.data(
+                flow.flow_id,
+                self.node_id,
+                flow.dst,
+                state.next_seq,
+                payload,
+                send_ts=now,
+                ecmp_hash=flow.ecmp_hash,
+                priority=flow.priority,
+            )
+            state.next_seq += payload
+            state.packets_sent += 1
+            nic.enqueue(pkt)
+            rate = cc.pacing_rate_bps
+            if rate is not None and rate > 0.0:
+                state.next_allowed = now + pkt.size * 8.0 / rate * 1e9
+
+    def _arm_timer(self, state: SenderState, at: float) -> None:
+        timer = state.timer
+        if timer is not None and not timer.cancelled and timer.time <= at:
+            return
+        if timer is not None:
+            timer.cancel()
+        state.timer = self.sim.schedule_at(at, self._timer_fired, state)
+
+    def _timer_fired(self, state: SenderState) -> None:
+        state.timer = None
+        self._try_send(state)
+
+    # -- receiver ---------------------------------------------------------------
+
+    def add_receiver_flow(self, flow: Flow) -> ReceiverState:
+        if flow.flow_id in self.receivers:
+            raise ValueError(f"flow {flow.flow_id} already received on {self.name}")
+        state = ReceiverState(flow)
+        self.receivers[flow.flow_id] = state
+        return state
+
+    # -- datapath ------------------------------------------------------------------
+
+    def receive(self, pkt: Packet, in_port: Optional[Port]) -> None:
+        if pkt.is_control:
+            if in_port is not None:
+                in_port.apply_pause(pkt)
+            return
+        kind = pkt.kind
+        if kind == DATA:
+            self._receive_data(pkt)
+        elif kind == ACK:
+            self._receive_ack(pkt)
+        elif kind == CNP:
+            self._receive_cnp(pkt)
+
+    def _receive_data(self, pkt: Packet) -> None:
+        state = self.receivers.get(pkt.flow_id)
+        if state is None:
+            raise RuntimeError(
+                f"{self.name}: data for unknown flow {pkt.flow_id} ({pkt!r})"
+            )
+        state.packets_received += 1
+        # Paths are flow-pinned and the fabric is lossless, so arrival is
+        # in-order; the max() guards the (untriggered) duplicated case.
+        end = pkt.end_seq()
+        if end > state.received:
+            state.received = end
+        now = self.sim.now()
+        if state.flow.use_cnp and pkt.ece:
+            if now - state.last_cnp_time >= self.cnp_interval_ns:
+                state.last_cnp_time = now
+                self.nic.enqueue(Packet.cnp(pkt.flow_id, self.node_id, pkt.src))
+        self.nic.enqueue(Packet.ack(pkt, state.received, now))
+
+    def _receive_ack(self, pkt: Packet) -> None:
+        state = self.senders.get(pkt.flow_id)
+        if state is None:
+            raise RuntimeError(f"{self.name}: ACK for unknown flow {pkt.flow_id}")
+        flow = state.flow
+        now = self.sim.now()
+        newly = pkt.seq - state.acked
+        if newly < 0:
+            newly = 0
+        else:
+            state.acked = pkt.seq
+        state.last_ack_time = now
+        ctx = AckContext(
+            now=now,
+            ack_seq=pkt.seq,
+            newly_acked=newly,
+            ece=pkt.ece,
+            int_records=pkt.int_records,
+            rtt=now - pkt.send_ts,
+            hops=pkt.hops,
+        )
+        state.cc.on_ack(ctx)
+        if state.acked >= flow.size and not flow.completed:
+            flow.finish_time = now
+            for cb in self.completion_callbacks:
+                cb(flow)
+            return
+        self._try_send(state)
+
+    def _receive_cnp(self, pkt: Packet) -> None:
+        state = self.senders.get(pkt.flow_id)
+        if state is None:
+            raise RuntimeError(f"{self.name}: CNP for unknown flow {pkt.flow_id}")
+        state.cc.on_cnp(self.sim.now())
+        # Rate may have dropped; pacing timer handles future sends. No-op here.

@@ -1,0 +1,47 @@
+"""Point-to-point link description.
+
+A physical cable is modelled as two independent unidirectional channels, one
+per direction, each owned by the egress :class:`repro.sim.port.Port` on its
+sending side.  This module holds only the immutable description shared by
+wiring code; the dynamic behaviour (serialization, queueing) lives in the
+port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import serialization_time_ns
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Immutable description of one unidirectional channel.
+
+    Attributes
+    ----------
+    rate_bps:
+        Line rate in bits per second.
+    prop_delay_ns:
+        Propagation delay in nanoseconds (speed-of-light latency, exclusive
+        of serialization).
+    """
+
+    rate_bps: float
+    prop_delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {self.rate_bps}")
+        if self.prop_delay_ns < 0:
+            raise ValueError(
+                f"propagation delay must be non-negative, got {self.prop_delay_ns}"
+            )
+
+    def serialization_ns(self, size_bytes: int) -> float:
+        """Serialization time for a packet of ``size_bytes`` on this channel."""
+        return serialization_time_ns(size_bytes, self.rate_bps)
+
+    def one_way_ns(self, size_bytes: int) -> float:
+        """Serialization plus propagation for one packet."""
+        return self.serialization_ns(size_bytes) + self.prop_delay_ns

@@ -1,0 +1,231 @@
+"""Network assembly and experiment orchestration.
+
+:class:`Network` owns the simulator, the devices, and the wiring, and offers
+the high-level operations experiments need:
+
+* ``add_host`` / ``add_switch`` / ``connect`` — topology construction;
+* ``build_routing`` — ECMP tables from shortest paths (call after wiring);
+* ``add_flow`` — register a flow with a congestion-control instance;
+* ``run`` — advance the event loop;
+* path/RTT utilities used to configure protocols (base RTT, min BDP).
+
+Determinism: a single seeded :class:`random.Random` drives every stochastic
+choice (RED marking); workload generators take their own seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..units import serialization_time_ns
+from .engine import Simulator
+from .flow import Flow
+from .host import Host
+from .link import LinkSpec
+from .packet import ACK_BYTES, HEADER_BYTES
+from .pfc import PfcConfig
+from .port import Port, RedConfig
+from .routing import bfs_distances, ecmp_next_hops
+from .switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cc.base import CongestionControl
+
+
+class Network:
+    """A wired topology plus its event loop and flow registry."""
+
+    def __init__(self, seed: int = 1):
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.nodes: List = []
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self.flows: Dict[int, Flow] = {}
+        self._adjacency: Dict[int, List[int]] = {}
+        self._routing_built = False
+        self._next_flow_id = 0
+        self.completed_flows: List[Flow] = []
+
+    # -- topology construction --------------------------------------------------
+
+    def add_host(self, name: Optional[str] = None, **kwargs) -> Host:
+        node_id = len(self.nodes)
+        host = Host(self.sim, node_id, name or f"h{node_id}", **kwargs)
+        host.completion_callbacks.append(self._on_flow_complete)
+        self.nodes.append(host)
+        self.hosts.append(host)
+        self._adjacency[node_id] = []
+        return host
+
+    def add_switch(self, name: Optional[str] = None) -> Switch:
+        node_id = len(self.nodes)
+        sw = Switch(self.sim, node_id, name or f"s{node_id}")
+        self.nodes.append(sw)
+        self.switches.append(sw)
+        self._adjacency[node_id] = []
+        return sw
+
+    def connect(
+        self,
+        a,
+        b,
+        rate_bps: float,
+        prop_delay_ns: float,
+        *,
+        max_queue_bytes: Optional[float] = None,
+        red: Optional[RedConfig] = None,
+        pfc: Optional[PfcConfig] = None,
+    ) -> Tuple[Port, Port]:
+        """Create a bidirectional link between nodes ``a`` and ``b``.
+
+        Returns the two egress ports ``(a->b, b->a)``.  Switch egress ports
+        stamp INT; host NIC ports do not (telemetry comes from the fabric).
+        """
+        if self._routing_built:
+            raise RuntimeError("cannot modify topology after build_routing()")
+        spec = LinkSpec(rate_bps, prop_delay_ns)
+        port_ab = Port(
+            self.sim,
+            a,
+            spec,
+            index=len(a.ports),
+            max_queue_bytes=max_queue_bytes,
+            red=red,
+            rng=self.rng,
+            stamp_int=isinstance(a, Switch),
+            pfc=pfc,
+        )
+        port_ba = Port(
+            self.sim,
+            b,
+            spec,
+            index=len(b.ports),
+            max_queue_bytes=max_queue_bytes,
+            red=red,
+            rng=self.rng,
+            stamp_int=isinstance(b, Switch),
+            pfc=pfc,
+        )
+        port_ab.peer_node, port_ab.peer_port = b, port_ba
+        port_ba.peer_node, port_ba.peer_port = a, port_ab
+        a.attach_port(port_ab, b.node_id)
+        b.attach_port(port_ba, a.node_id)
+        self._adjacency[a.node_id].append(b.node_id)
+        self._adjacency[b.node_id].append(a.node_id)
+        return port_ab, port_ba
+
+    def build_routing(self) -> None:
+        """Populate every switch's ECMP tables for every host destination."""
+        for host in self.hosts:
+            next_hops = ecmp_next_hops(self._adjacency, host.node_id)
+            for sw in self.switches:
+                hops = next_hops.get(sw.node_id)
+                if hops is None:
+                    continue  # unreachable (disconnected test topologies)
+                sw.set_route(
+                    host.node_id, tuple(sw.port_to[h] for h in hops)
+                )
+        self._routing_built = True
+
+    # -- path utilities -----------------------------------------------------------
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Links on a shortest path between two nodes."""
+        dist = bfs_distances(self._adjacency, dst)
+        return dist[src]
+
+    def path_rtt_ns(self, src: int, dst: int, mtu_payload: int = 1000) -> float:
+        """Unloaded round-trip estimate for CC base-RTT configuration.
+
+        Forward direction: per hop, one full-MTU serialization plus
+        propagation (store-and-forward); reverse: ACK serialization plus
+        propagation.  Assumes the (common) case of uniform link rates along
+        the path; with heterogeneous rates this is the hop-wise sum using each
+        hop's own rate, which is exact for an unloaded network.
+        """
+        path = self._shortest_path(src, dst)
+        rtt = 0.0
+        pkt_size = mtu_payload + HEADER_BYTES
+        for u, v in zip(path, path[1:]):
+            spec = self.nodes[u].port_to[v].spec
+            rtt += spec.serialization_ns(pkt_size) + spec.prop_delay_ns
+        for u, v in zip(path, path[1:]):
+            spec = self.nodes[v].port_to[u].spec
+            rtt += spec.serialization_ns(ACK_BYTES) + spec.prop_delay_ns
+        return rtt
+
+    def min_bdp_bytes(self, src: int, dst: int) -> float:
+        """Line-rate-at-source x base-RTT product, the paper's Token_Thresh."""
+        host = self.nodes[src]
+        rate = host.ports[0].spec.rate_bps
+        return rate / 8.0 * self.path_rtt_ns(src, dst) / 1e9
+
+    def _shortest_path(self, src: int, dst: int) -> List[int]:
+        dist = bfs_distances(self._adjacency, dst)
+        if src not in dist:
+            raise RuntimeError(f"no path {src} -> {dst}")
+        path = [src]
+        node = src
+        while node != dst:
+            node = min(
+                (v for v in self._adjacency[node] if v in dist),
+                key=lambda v: dist[v],
+            )
+            path.append(node)
+        return path
+
+    # -- flows ---------------------------------------------------------------------
+
+    def next_flow_id(self) -> int:
+        fid = self._next_flow_id
+        self._next_flow_id += 1
+        return fid
+
+    def add_flow(self, flow: Flow, cc: "CongestionControl") -> Flow:
+        """Register a flow: sender state at src host, receiver state at dst."""
+        if not self._routing_built:
+            raise RuntimeError("call build_routing() before adding flows")
+        if flow.flow_id in self.flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        src = self.nodes[flow.src]
+        dst = self.nodes[flow.dst]
+        if not isinstance(src, Host) or not isinstance(dst, Host):
+            raise TypeError("flows must run between hosts")
+        self.flows[flow.flow_id] = flow
+        dst.add_receiver_flow(flow)
+        src.add_sender_flow(flow, cc)
+        if flow.flow_id >= self._next_flow_id:
+            self._next_flow_id = flow.flow_id + 1
+        return flow
+
+    def _on_flow_complete(self, flow: Flow) -> None:
+        self.completed_flows.append(flow)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until_flows_complete(
+        self, timeout_ns: float, check_interval_ns: float = 100_000.0
+    ) -> bool:
+        """Run until all registered flows complete or ``timeout_ns`` passes.
+
+        Returns True if every flow completed.
+        """
+        deadline = self.sim.now() + timeout_ns
+        while self.sim.now() < deadline:
+            if all(f.completed for f in self.flows.values()):
+                return True
+            step_until = min(deadline, self.sim.now() + check_interval_ns)
+            self.sim.run(until=step_until)
+            if self.sim.peek_time() is None:
+                break
+        return all(f.completed for f in self.flows.values())
+
+    # -- monitoring helpers -------------------------------------------------------------
+
+    def total_drops(self) -> int:
+        return sum(p.drops for n in self.nodes for p in n.ports)

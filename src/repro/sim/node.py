@@ -1,0 +1,64 @@
+"""Base class for network devices (hosts and switches)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .port import Port
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class Node:
+    """A device with ports.
+
+    Subclasses implement :meth:`receive`.  Ports are added by the network
+    wiring helper (:meth:`repro.sim.network.Network.connect`).
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, name: str):
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+        self.ports: List[Port] = []
+        self.port_to: Dict[int, Port] = {}  # neighbour node_id -> egress port
+
+    def attach_port(self, port: Port, neighbour_id: int) -> None:
+        """Register an egress port facing ``neighbour_id``."""
+        self.ports.append(port)
+        self.port_to[neighbour_id] = port
+
+    def receive(self, pkt: Packet, in_port: Optional[Port]) -> None:
+        """Handle a packet arriving on ``in_port``.
+
+        ``in_port`` is this node's own egress port facing the sender — it
+        identifies the interface and is the target of PFC pause application.
+        """
+        raise NotImplementedError
+
+    def send_pfc(self, ingress: Port, *, resume: bool) -> None:
+        """Send a PFC pause or resume frame upstream through ``ingress``.
+
+        ``ingress`` is our port facing the congesting neighbour; the frame is
+        queued there with priority and, on arrival, pauses/resumes the
+        neighbour's egress port facing us.
+        """
+        cfg = ingress.pfc_ingress.config
+        if cfg is None:
+            return
+        duration = 0.0 if resume else cfg.pause_quanta_ns
+        peer = ingress.peer_node
+        frame = Packet.pause(self.node_id, peer.node_id if peer else -1, duration)
+        ingress.enqueue(frame)
+
+    def on_forwarded(self, pkt: Packet, ingress: Port) -> None:
+        """Called when a packet that arrived on ``ingress`` finishes egress.
+
+        The default does nothing; switches use it for PFC ingress release.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} id={self.node_id}>"

@@ -1,0 +1,238 @@
+"""Egress port: the queueing and transmission workhorse.
+
+Every node-to-node channel is owned by exactly one :class:`Port` on the
+sending side.  A port bundles:
+
+* the FIFO egress queue (bytes-accounted, optional tail-drop limit),
+* the transmitter (serialization at line rate, then propagation),
+* ECN/RED marking at enqueue (used by DCQCN),
+* INT stamping at dequeue (used by HPCC),
+* the PFC egress pause state, plus the PFC ingress accounting for traffic
+  *arriving from* the neighbour this port faces (the same port object
+  identifies the interface in both directions, which is how pause frames
+  find their target).
+
+The drain loop is the hottest code in the simulator; it avoids allocation and
+keeps bookkeeping to integer/float adds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .engine import Simulator
+from .link import LinkSpec
+from .packet import DATA, PAUSE, RESUME, HopRecord, Packet
+from .pfc import PfcConfig, PfcEgressState, PfcIngress
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+
+@dataclass(frozen=True)
+class RedConfig:
+    """RED/ECN marking thresholds (DCQCN-style), on instantaneous queue length.
+
+    ``q <= kmin``: never mark; ``kmin < q < kmax``: mark with probability
+    ``pmax * (q - kmin) / (kmax - kmin)``; ``q >= kmax``: always mark.
+    """
+
+    kmin_bytes: float
+    kmax_bytes: float
+    pmax: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pmax <= 1:
+            raise ValueError(f"pmax must be in [0, 1], got {self.pmax}")
+        if self.kmin_bytes < 0 or self.kmax_bytes <= self.kmin_bytes:
+            raise ValueError(
+                f"need 0 <= kmin < kmax, got kmin={self.kmin_bytes}, "
+                f"kmax={self.kmax_bytes}"
+            )
+
+    def mark_probability(self, qlen: float) -> float:
+        """Marking probability at instantaneous queue length ``qlen`` bytes."""
+        if qlen <= self.kmin_bytes:
+            return 0.0
+        if qlen >= self.kmax_bytes:
+            return 1.0
+        return self.pmax * (qlen - self.kmin_bytes) / (self.kmax_bytes - self.kmin_bytes)
+
+
+class Port:
+    """One egress interface of a node.
+
+    Wiring (done by :class:`repro.sim.network.Network`) sets ``peer_node`` and
+    ``peer_port`` so that packet arrival is delivered as
+    ``peer_node.receive(pkt, in_port=peer_port)``.
+    """
+
+    __slots__ = (
+        "sim",
+        "owner",
+        "spec",
+        "index",
+        "peer_node",
+        "peer_port",
+        "queue",
+        "queue_bytes",
+        "tx_bytes",
+        "busy",
+        "drops",
+        "max_queue_bytes",
+        "red",
+        "rng",
+        "stamp_int",
+        "pfc_egress",
+        "pfc_ingress",
+        "max_qlen_seen",
+        "_wake_event",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: "Node",
+        spec: LinkSpec,
+        index: int,
+        *,
+        max_queue_bytes: Optional[float] = None,
+        red: Optional[RedConfig] = None,
+        rng: Optional[random.Random] = None,
+        stamp_int: bool = False,
+        pfc: Optional[PfcConfig] = None,
+    ):
+        self.sim = sim
+        self.owner = owner
+        self.spec = spec
+        self.index = index
+        self.peer_node: Optional["Node"] = None
+        self.peer_port: Optional["Port"] = None
+        self.queue: deque = deque()  # entries: (Packet, ingress Port | None)
+        self.queue_bytes = 0.0
+        self.tx_bytes = 0.0
+        self.busy = False
+        self.drops = 0
+        self.max_queue_bytes = max_queue_bytes
+        self.red = red
+        self.rng = rng
+        self.stamp_int = stamp_int
+        self.pfc_egress = PfcEgressState()
+        self.pfc_ingress = PfcIngress(pfc)
+        self.max_qlen_seen = 0.0
+        self._wake_event = None
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        peer = self.peer_node.name if self.peer_node is not None else "?"
+        return f"{self.owner.name}.p{self.index}->{peer}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} q={self.queue_bytes:.0f}B busy={self.busy}>"
+
+    # -- enqueue ------------------------------------------------------------
+
+    def enqueue(self, pkt: Packet, ingress: Optional["Port"] = None) -> bool:
+        """Queue a packet for transmission.  Returns False if tail-dropped.
+
+        Control (PFC) frames jump the queue and are never dropped or marked.
+        """
+        if pkt.is_control:
+            self.queue.appendleft((pkt, ingress))
+            self.queue_bytes += pkt.size
+        else:
+            if (
+                self.max_queue_bytes is not None
+                and self.queue_bytes + pkt.size > self.max_queue_bytes
+            ):
+                self.drops += 1
+                if ingress is not None:
+                    resume = ingress.pfc_ingress.on_release(pkt.size)
+                    if resume:  # pragma: no cover - drop+PFC is pathological
+                        self.owner.send_pfc(ingress, resume=True)
+                return False
+            if self.red is not None and pkt.kind == DATA:
+                p = self.red.mark_probability(self.queue_bytes)
+                if p > 0.0 and (p >= 1.0 or self.rng.random() < p):
+                    pkt.ece = True
+            self.queue.append((pkt, ingress))
+            self.queue_bytes += pkt.size
+        if self.queue_bytes > self.max_qlen_seen:
+            self.max_qlen_seen = self.queue_bytes
+        self.try_drain()
+        return True
+
+    # -- drain --------------------------------------------------------------
+
+    def try_drain(self) -> None:
+        """Start transmitting the head-of-line packet if possible."""
+        if self.busy or not self.queue:
+            return
+        now = self.sim.now()
+        if self.pfc_egress.is_paused(now):
+            self._schedule_wake(self.pfc_egress.paused_until)
+            return
+        pkt, ingress = self.queue.popleft()
+        self.queue_bytes -= pkt.size
+        if self.stamp_int and pkt.kind == DATA and pkt.int_records is not None:
+            pkt.int_records.append(
+                HopRecord(
+                    qlen=self.queue_bytes,
+                    tx_bytes=self.tx_bytes + pkt.size,
+                    ts=now,
+                    rate_bps=self.spec.rate_bps,
+                )
+            )
+            pkt.hops += 1
+        self.busy = True
+        self.sim.schedule(self.spec.serialization_ns(pkt.size), self._tx_done, pkt, ingress)
+
+    def _tx_done(self, pkt: Packet, ingress: Optional["Port"]) -> None:
+        self.busy = False
+        self.tx_bytes += pkt.size
+        if ingress is not None:
+            self.owner.on_forwarded(pkt, ingress)
+        if self.peer_node is not None:
+            self.sim.schedule(
+                self.spec.prop_delay_ns, self.peer_node.receive, pkt, self.peer_port
+            )
+        self.try_drain()
+
+    def _schedule_wake(self, at: float) -> None:
+        ev = self._wake_event
+        if ev is not None and not ev.cancelled and ev.time <= at:
+            return
+        if ev is not None:
+            ev.cancel()
+        self._wake_event = self.sim.schedule_at(at, self._wake)
+
+    def _wake(self) -> None:
+        self._wake_event = None
+        self.try_drain()
+
+    # -- PFC ---------------------------------------------------------------
+
+    def apply_pause(self, pkt: Packet) -> None:
+        """Apply a received PFC frame to this (egress) port."""
+        if pkt.kind == PAUSE:
+            self.pfc_egress.pause(self.sim.now(), pkt.pause_duration)
+        elif pkt.kind == RESUME:
+            self.pfc_egress.resume()
+            self.try_drain()
+
+    # -- introspection -------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Reset monitoring counters (not queue state)."""
+        self.max_qlen_seen = self.queue_bytes
+        self.drops = 0
+
+    @property
+    def utilization_bytes(self) -> float:
+        """Cumulative bytes transmitted (for throughput accounting)."""
+        return self.tx_bytes

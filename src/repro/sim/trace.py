@@ -1,0 +1,186 @@
+"""Simulation tracing: per-flow lifecycle records and per-port counters.
+
+Two collectors that downstream users of the library typically need when
+debugging a protocol or preparing plots:
+
+* :class:`FlowTracer` — one row per flow (size, start, finish, FCT,
+  retransmission-free delivery check) plus optional periodic snapshots of
+  sender state (window/rate), exportable as CSV;
+* :class:`PortCounterSampler` — periodic samples of per-port cumulative
+  tx bytes / queue / drops, from which utilization time series derive.
+
+Both are ordinary event-loop citizens like the monitors and cost nothing
+when not started.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Simulator
+from .flow import Flow
+from .host import Host
+from .port import Port
+
+
+@dataclass
+class FlowSnapshot:
+    """One periodic sample of a sender's congestion-control state."""
+
+    time_ns: float
+    flow_id: int
+    acked_bytes: int
+    inflight_bytes: int
+    window_bytes: float
+    pacing_rate_bps: Optional[float]
+
+
+class FlowTracer:
+    """Record flow lifecycles and (optionally) sender-state time series."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Sequence[Host],
+        *,
+        snapshot_interval_ns: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.snapshot_interval_ns = snapshot_interval_ns
+        self.snapshots: List[FlowSnapshot] = []
+        self.completed: List[Flow] = []
+        self._stopped = False
+        for host in self.hosts:
+            host.completion_callbacks.append(self._on_complete)
+
+    def start(self) -> "FlowTracer":
+        if self.snapshot_interval_ns is not None:
+            self.sim.schedule(0.0, self._sample)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _on_complete(self, flow: Flow) -> None:
+        self.completed.append(flow)
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now()
+        for host in self.hosts:
+            for state in host.senders.values():
+                if not state.flow.started or state.flow.completed:
+                    continue
+                self.snapshots.append(
+                    FlowSnapshot(
+                        time_ns=now,
+                        flow_id=state.flow.flow_id,
+                        acked_bytes=state.acked,
+                        inflight_bytes=state.inflight,
+                        window_bytes=state.cc.window_bytes,
+                        pacing_rate_bps=state.cc.pacing_rate_bps,
+                    )
+                )
+        self.sim.schedule(self.snapshot_interval_ns, self._sample)
+
+    # -- export -----------------------------------------------------------------
+
+    def completion_rows(self) -> List[dict]:
+        """One dict per completed flow, ready for CSV/table rendering."""
+        return [
+            {
+                "flow_id": f.flow_id,
+                "src": f.src,
+                "dst": f.dst,
+                "size_bytes": f.size,
+                "start_ns": f.start_time,
+                "finish_ns": f.finish_time,
+                "fct_ns": f.fct,
+            }
+            for f in self.completed
+        ]
+
+    def to_csv(self) -> str:
+        """Completed-flow table as CSV text (write it wherever you like)."""
+        rows = self.completion_rows()
+        buf = io.StringIO()
+        writer = csv.DictWriter(
+            buf,
+            fieldnames=[
+                "flow_id",
+                "src",
+                "dst",
+                "size_bytes",
+                "start_ns",
+                "finish_ns",
+                "fct_ns",
+            ],
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+        return buf.getvalue()
+
+    def snapshots_for(self, flow_id: int) -> List[FlowSnapshot]:
+        return [s for s in self.snapshots if s.flow_id == flow_id]
+
+
+@dataclass
+class PortSample:
+    """One periodic sample of a port's counters."""
+
+    time_ns: float
+    tx_bytes: float
+    queue_bytes: float
+    drops: int
+
+
+class PortCounterSampler:
+    """Sample cumulative port counters; derive utilization per interval."""
+
+    def __init__(self, sim: Simulator, ports: Sequence[Port], interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.ports = list(ports)
+        self.interval_ns = interval_ns
+        self.samples: Dict[int, List[PortSample]] = {i: [] for i in range(len(self.ports))}
+        self._stopped = False
+
+    def start(self) -> "PortCounterSampler":
+        self.sim.schedule(0.0, self._sample)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now()
+        for i, port in enumerate(self.ports):
+            self.samples[i].append(
+                PortSample(now, port.tx_bytes, port.queue_bytes, port.drops)
+            )
+        self.sim.schedule(self.interval_ns, self._sample)
+
+    def utilization_series(self, port_index: int) -> List[tuple]:
+        """(interval midpoint ns, utilization in [0, 1]) per interval."""
+        samples = self.samples[port_index]
+        port = self.ports[port_index]
+        out = []
+        for a, b in zip(samples, samples[1:]):
+            dt = b.time_ns - a.time_ns
+            if dt <= 0:
+                continue
+            capacity = port.spec.rate_bps / 8.0 * dt / 1e9
+            out.append(((a.time_ns + b.time_ns) / 2, (b.tx_bytes - a.tx_bytes) / capacity))
+        return out
+
+    def peak_utilization(self, port_index: int) -> float:
+        series = self.utilization_series(port_index)
+        return max((u for _, u in series), default=0.0)

@@ -1,0 +1,13 @@
+"""Topology builders: incast star (Sec. III-D) and fat-tree (Fig. 7)."""
+
+from .base import Topology
+from .fattree import FatTreeParams, build_fattree, scaled_fattree_params
+from .star import build_star
+
+__all__ = [
+    "FatTreeParams",
+    "Topology",
+    "build_fattree",
+    "build_star",
+    "scaled_fattree_params",
+]

@@ -1,0 +1,45 @@
+"""Common topology handle returned by the builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.host import Host
+from ..sim.network import Network
+from ..sim.port import Port
+from ..sim.switch import Switch
+
+
+@dataclass
+class Topology:
+    """A built network plus named groups the experiments address.
+
+    Attributes
+    ----------
+    network:
+        The wired :class:`repro.sim.network.Network` (routing already built).
+    hosts:
+        All hosts, in builder-defined order.
+    switches:
+        All switches.
+    bottleneck_ports:
+        Ports experiments typically monitor for queue depth (e.g. the
+        switch-to-receiver port of an incast star; every fabric egress port
+        for the fat-tree).
+    meta:
+        Builder-specific facts (rates, counts) for reporting.
+    """
+
+    network: Network
+    hosts: List[Host]
+    switches: List[Switch]
+    bottleneck_ports: List[Port] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def host_ids(self) -> List[int]:
+        return [h.node_id for h in self.hosts]

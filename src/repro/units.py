@@ -1,0 +1,155 @@
+"""Unit helpers for the simulator.
+
+Internal conventions, used consistently across :mod:`repro`:
+
+* **time** — nanoseconds, as ``float`` (the event engine orders events with a
+  monotonically increasing sequence number, so exact float ties are safe);
+* **data** — bytes, as ``int`` where a packet/flow size is meant and ``float``
+  where an accumulator is meant;
+* **rate** — bits per second (``float``).  Helper functions convert to and
+  from bytes-per-nanosecond where the hot paths need it.
+
+The helpers exist so that experiment configuration can be written in the units
+the paper uses (Gbps links, microsecond propagation delays, KB queue
+thresholds) without sprinkling magic conversion factors through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: One microsecond, in nanoseconds.
+USEC = 1_000.0
+#: One millisecond, in nanoseconds.
+MSEC = 1_000_000.0
+#: One second, in nanoseconds.
+SEC = 1_000_000_000.0
+
+
+def us(value: float) -> float:
+    """Convert microseconds to internal nanoseconds."""
+    return value * USEC
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to internal nanoseconds."""
+    return value * MSEC
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to internal nanoseconds."""
+    return value * SEC
+
+
+def ns_to_us(value: float) -> float:
+    """Convert internal nanoseconds to microseconds (for reporting)."""
+    return value / USEC
+
+
+def ns_to_ms(value: float) -> float:
+    """Convert internal nanoseconds to milliseconds (for reporting)."""
+    return value / MSEC
+
+
+# ---------------------------------------------------------------------------
+# Data sizes
+# ---------------------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1_024
+MiB = 1_048_576
+
+
+def kb(value: float) -> int:
+    """Kilobytes (decimal, as the paper uses) to bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Megabytes (decimal) to bytes."""
+    return int(value * MB)
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+Kbps = 1_000.0
+Mbps = 1_000_000.0
+Gbps = 1_000_000_000.0
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * Gbps
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return value * Mbps
+
+
+def rate_bps_to_bytes_per_ns(rate_bps: float) -> float:
+    """Convert a bits-per-second rate into bytes per nanosecond."""
+    return rate_bps / 8.0 / SEC
+
+
+def bytes_per_ns_to_bps(rate: float) -> float:
+    """Convert bytes per nanosecond back to bits per second."""
+    return rate * 8.0 * SEC
+
+
+def serialization_time_ns(size_bytes: int, rate_bps: float) -> float:
+    """Time in nanoseconds to serialize ``size_bytes`` onto a ``rate_bps`` link.
+
+    Raises
+    ------
+    ValueError
+        If the rate is not positive (a zero-rate link can never transmit).
+    """
+    if rate_bps <= 0.0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps * SEC
+
+
+def bdp_bytes(rate_bps: float, rtt_ns: float) -> float:
+    """Bandwidth-delay product in bytes for a rate and round-trip time."""
+    return rate_bps / 8.0 * rtt_ns / SEC
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable rendering of a bits-per-second rate."""
+    if rate_bps >= Gbps:
+        return f"{rate_bps / Gbps:.3g} Gbps"
+    if rate_bps >= Mbps:
+        return f"{rate_bps / Mbps:.3g} Mbps"
+    if rate_bps >= Kbps:
+        return f"{rate_bps / Kbps:.3g} Kbps"
+    return f"{rate_bps:.3g} bps"
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable rendering of a byte count (decimal units)."""
+    if size >= GB:
+        return f"{size / GB:.3g} GB"
+    if size >= MB:
+        return f"{size / MB:.3g} MB"
+    if size >= KB:
+        return f"{size / KB:.3g} KB"
+    return f"{size:.3g} B"
+
+
+def format_time_ns(t: float) -> str:
+    """Human-readable rendering of a nanosecond timestamp/duration."""
+    if t >= SEC:
+        return f"{t / SEC:.4g} s"
+    if t >= MSEC:
+        return f"{t / MSEC:.4g} ms"
+    if t >= USEC:
+        return f"{t / USEC:.4g} us"
+    return f"{t:.4g} ns"

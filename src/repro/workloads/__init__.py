@@ -1,0 +1,37 @@
+"""Workload generators: incast microbenchmarks and datacenter traffic."""
+
+from .distributions import (
+    ALISTORAGE,
+    DISTRIBUTIONS,
+    HADOOP,
+    WEBSEARCH,
+    WEBSEARCH_STORAGE,
+    FlowSizeDistribution,
+    MixedDistribution,
+    get_distribution,
+)
+from .incast import IncastFlowSpec, simultaneous_incast, staggered_incast
+from .poisson import (
+    TrafficFlowSpec,
+    generate_poisson_traffic,
+    offered_load,
+    poisson_arrival_rate_per_ns,
+)
+
+__all__ = [
+    "ALISTORAGE",
+    "DISTRIBUTIONS",
+    "FlowSizeDistribution",
+    "HADOOP",
+    "IncastFlowSpec",
+    "MixedDistribution",
+    "TrafficFlowSpec",
+    "WEBSEARCH",
+    "WEBSEARCH_STORAGE",
+    "generate_poisson_traffic",
+    "get_distribution",
+    "offered_load",
+    "poisson_arrival_rate_per_ns",
+    "simultaneous_incast",
+    "staggered_incast",
+]

@@ -1,0 +1,68 @@
+"""Incast workload generator (Sec. III-D, VI-A).
+
+The paper's microbenchmark: N senders each send one 1 MB flow to a single
+receiver, with staggered starts — "two flows start every 20 microseconds".
+The generator returns plain flow descriptions; the experiment runner binds
+them to hosts and congestion-control instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..units import mb, us
+
+
+@dataclass(frozen=True)
+class IncastFlowSpec:
+    """One flow of an incast pattern (host indices, not node ids)."""
+
+    sender_index: int
+    size_bytes: int
+    start_time_ns: float
+
+
+def staggered_incast(
+    n_senders: int = 16,
+    *,
+    flow_size_bytes: int = mb(1),
+    flows_per_batch: int = 2,
+    batch_interval_ns: float = us(20.0),
+) -> List[IncastFlowSpec]:
+    """The paper's staggered N-to-1 incast.
+
+    ``flows_per_batch`` flows start together every ``batch_interval_ns``;
+    sender ``i`` starts at ``(i // flows_per_batch) * batch_interval_ns``.
+    """
+    if n_senders < 1:
+        raise ValueError(f"need at least one sender, got {n_senders}")
+    if flows_per_batch < 1:
+        raise ValueError(f"flows_per_batch must be >= 1, got {flows_per_batch}")
+    if batch_interval_ns < 0:
+        raise ValueError("batch_interval_ns must be non-negative")
+    return [
+        IncastFlowSpec(
+            sender_index=i,
+            size_bytes=flow_size_bytes,
+            start_time_ns=(i // flows_per_batch) * batch_interval_ns,
+        )
+        for i in range(n_senders)
+    ]
+
+
+def simultaneous_incast(
+    n_senders: int,
+    *,
+    flow_size_bytes: int = mb(1),
+    start_time_ns: float = 0.0,
+) -> List[IncastFlowSpec]:
+    """All senders start at once (the classic synchronized incast)."""
+    return staggered_incast(
+        n_senders,
+        flow_size_bytes=flow_size_bytes,
+        flows_per_batch=n_senders,
+        batch_interval_ns=0.0,
+    ) if start_time_ns == 0.0 else [
+        IncastFlowSpec(i, flow_size_bytes, start_time_ns) for i in range(n_senders)
+    ]

@@ -1,0 +1,101 @@
+"""Poisson-arrival datacenter traffic at a target load (Sec. VI-A).
+
+"The datacenter benchmarks run the network at 50% load" — meaning the
+aggregate offered load equals half the hosts' total line-rate capacity.
+Flows arrive as a Poisson process; each flow picks a uniformly random
+(source, destination) host pair (src != dst) and a size from the configured
+distribution.
+
+The network-wide arrival rate that achieves a load ``rho`` is::
+
+    lambda = rho * n_hosts * host_rate_bps / 8 / mean_flow_size   [flows/s]
+
+(each host's NIC is the capacity yardstick, as in the HPCC artifact's
+traffic generator).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..units import SEC
+
+
+@dataclass(frozen=True)
+class TrafficFlowSpec:
+    """One generated flow (host indices into the topology's host list)."""
+
+    src_index: int
+    dst_index: int
+    size_bytes: int
+    start_time_ns: float
+
+
+def poisson_arrival_rate_per_ns(
+    load: float,
+    n_hosts: int,
+    host_rate_bps: float,
+    mean_flow_size_bytes: float,
+) -> float:
+    """Network-wide flow arrival rate (flows per nanosecond) for a load."""
+    if not 0 < load:
+        raise ValueError(f"load must be positive, got {load}")
+    if mean_flow_size_bytes <= 0:
+        raise ValueError("mean flow size must be positive")
+    flows_per_sec = load * n_hosts * host_rate_bps / 8.0 / mean_flow_size_bytes
+    return flows_per_sec / SEC
+
+
+def generate_poisson_traffic(
+    *,
+    n_hosts: int,
+    host_rate_bps: float,
+    load: float,
+    duration_ns: float,
+    distribution,
+    seed: int = 42,
+    start_after_ns: float = 0.0,
+) -> List[TrafficFlowSpec]:
+    """Generate all flow arrivals within ``[start_after_ns, duration_ns)``.
+
+    ``distribution`` must expose ``sample(rng)`` and ``mean()`` (either a
+    :class:`~repro.workloads.distributions.FlowSizeDistribution` or a
+    :class:`~repro.workloads.distributions.MixedDistribution`).
+    """
+    if n_hosts < 2:
+        raise ValueError("need at least two hosts for traffic")
+    rng = random.Random(seed)
+    rate = poisson_arrival_rate_per_ns(load, n_hosts, host_rate_bps, distribution.mean())
+    flows: List[TrafficFlowSpec] = []
+    t = start_after_ns
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration_ns:
+            break
+        src = rng.randrange(n_hosts)
+        dst = rng.randrange(n_hosts - 1)
+        if dst >= src:
+            dst += 1
+        flows.append(
+            TrafficFlowSpec(
+                src_index=src,
+                dst_index=dst,
+                size_bytes=distribution.sample(rng),
+                start_time_ns=t,
+            )
+        )
+    return flows
+
+
+def offered_load(
+    flows: Sequence[TrafficFlowSpec],
+    n_hosts: int,
+    host_rate_bps: float,
+    duration_ns: float,
+) -> float:
+    """Realized offered load of a generated trace (for validation)."""
+    total_bytes = sum(f.size_bytes for f in flows)
+    capacity_bytes = n_hosts * host_rate_bps / 8.0 * duration_ns / SEC
+    return total_bytes / capacity_bytes if capacity_bytes > 0 else 0.0

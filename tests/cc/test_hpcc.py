@@ -1,0 +1,253 @@
+"""Unit tests for the HPCC implementation (driven with synthetic ACKs)."""
+
+import random
+
+import pytest
+
+from repro.cc.base import CCEnv
+from repro.cc.hpcc import HpccCC, HpccConfig
+from repro.cc.factory import hpcc_vai_config
+from repro.sim.packet import AckContext, HopRecord
+from repro.units import gbps, mbps
+
+
+def env(line=gbps(100.0), rtt=5_000.0, bdp=None):
+    return CCEnv(
+        line_rate_bps=line,
+        base_rtt_ns=rtt,
+        mtu_bytes=1000,
+        hops=2,
+        min_bdp_bytes=bdp if bdp is not None else line / 8.0 * rtt / 1e9,
+        rng=random.Random(0),
+    )
+
+
+class FakeSender:
+    def __init__(self):
+        self.next_seq = 0
+
+
+def ack(seq, qlen, tx_bytes, ts, rate=gbps(100.0), now=None, acked=1000):
+    """One-hop INT acknowledgement."""
+    return AckContext(
+        now=now if now is not None else ts,
+        ack_seq=seq,
+        newly_acked=acked,
+        ece=False,
+        int_records=[HopRecord(qlen, tx_bytes, ts, rate)],
+        rtt=5_000.0,
+        hops=1,
+    )
+
+
+def drive(cc, acks):
+    sender = FakeSender()
+    cc.bind(sender, host=None)
+    for a in acks:
+        sender.next_seq = a.ack_seq + int(cc.window_bytes)
+        cc.on_ack(a)
+
+
+class TestInitialState:
+    def test_starts_at_line_rate_window(self):
+        cc = HpccCC(env())
+        assert cc.window_bytes == pytest.approx(env().line_rate_window_bytes)
+        assert cc.pacing_rate_bps == pytest.approx(gbps(100.0))
+
+    def test_ai_bytes_from_rate(self):
+        cc = HpccCC(env(), HpccConfig(ai_rate_bps=mbps(50.0)))
+        # 50 Mb/s over a 5 us RTT = 31.25 bytes.
+        assert cc.base_ai_bytes == pytest.approx(50e6 / 8 * 5e-6)
+
+
+class TestMeasureInflight:
+    def test_first_ack_sets_baseline_only(self):
+        cc = HpccCC(env())
+        w0 = cc.window_bytes
+        drive(cc, [ack(1000, qlen=0.0, tx_bytes=1000.0, ts=100.0)])
+        assert cc.window_bytes == w0  # no telemetry delta yet
+        assert cc.utilization == 0.0
+
+    def test_utilization_from_tx_rate(self):
+        cc = HpccCC(env())
+        # Hop transmits at exactly line rate with zero queue -> u = 1.0.
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        t0, t1 = 0.0, 5_000.0
+        drive(
+            cc,
+            [
+                ack(1000, 0.0, 0.0, t0),
+                ack(2000, 0.0, bytes_per_ns * (t1 - t0), t1, now=t1),
+            ],
+        )
+        # tau == T so EWMA fully adopts the new measurement.
+        assert cc.utilization == pytest.approx(1.0)
+
+    def test_queue_contributes_to_utilization(self):
+        cc = HpccCC(env())
+        T = 5_000.0
+        bdp = gbps(100.0) / 8.0 * T / 1e9  # bytes in flight at line rate
+        drive(
+            cc,
+            [
+                ack(1000, bdp, 0.0, 0.0),
+                ack(2000, bdp, 0.0, T, now=T),  # full-BDP standing queue, no tx
+            ],
+        )
+        assert cc.utilization == pytest.approx(1.0)
+
+
+class TestWindowAdjustment:
+    def test_decrease_when_overutilized(self):
+        cc = HpccCC(env())
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        w0 = cc.window_bytes
+        # Queue of 2 BDPs plus line-rate tx -> u ~ 3 -> strong decrease.
+        q = 2 * bytes_per_ns * T
+        drive(
+            cc,
+            [
+                ack(1000, q, 0.0, 0.0),
+                ack(2000, q, bytes_per_ns * T, T, now=T),
+            ],
+        )
+        assert cc.window_bytes < w0
+
+    def test_additive_probe_when_underutilized(self):
+        cc = HpccCC(env())
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        # Start below the line-rate cap so the additive step is visible.
+        cc.reference_window = cc.window_bytes = 30_000.0
+        wc0 = cc.reference_window
+        # 50% utilization, no queue -> u = 0.5 < eta, incStage < maxStage:
+        # additive increase only.
+        # The second ACK's sequence exceeds the first RTT boundary marker
+        # (seq 1000 + the 30 KB window), so it opens a new update period.
+        drive(
+            cc,
+            [
+                ack(1000, 0.0, 0.0, 0.0),
+                ack(40_000, 0.0, 0.5 * bytes_per_ns * T, T, now=T),
+            ],
+        )
+        assert cc.reference_window == pytest.approx(wc0 + cc.base_ai_bytes)
+        assert cc.inc_stage == 1
+
+    def test_multiplicative_increase_after_max_stage(self):
+        cc = HpccCC(env())
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        tx = 0.5 * bytes_per_ns * T
+        acks = [ack(1000, 0.0, 0.0, 0.0)]
+        for i in range(1, 8):
+            acks.append(ack((i + 1) * 1000, 0.0, tx * i, T * i, now=T * i))
+        drive(cc, acks)
+        # After maxStage additive rounds the MI branch engages; with u = 0.5
+        # the window roughly doubles per update (capped at line-rate BDP).
+        assert cc.inc_stage == 0  # reset by the MI branch
+        assert cc.window_bytes == pytest.approx(env().line_rate_window_bytes)
+
+    def test_window_floor_one_mtu(self):
+        cc = HpccCC(env())
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        q = 100 * bytes_per_ns * T  # monstrous queue
+        acks = [ack(1000, q, 0.0, 0.0)]
+        for i in range(1, 20):
+            acks.append(ack((i + 1) * 1000, q, bytes_per_ns * T * i, T * i, now=T * i))
+        drive(cc, acks)
+        assert cc.window_bytes >= 1000.0
+
+    def test_reference_updates_once_per_rtt(self):
+        """Two congested ACKs inside one RTT produce one reference decrease."""
+        cc = HpccCC(env())
+        sender = FakeSender()
+        cc.bind(sender, None)
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        q = 2 * bytes_per_ns * T
+        sender.next_seq = 1_000_000
+        cc.on_ack(ack(1000, q, 0.0, 0.0))
+        cc.on_ack(ack(2000, q, bytes_per_ns * 100, 100.0, now=100.0))
+        dec_after_first = cc.reference_decreases
+        cc.on_ack(ack(3000, q, bytes_per_ns * 200, 200.0, now=200.0))
+        assert cc.reference_decreases == dec_after_first  # same RTT
+
+
+class TestSamplingFrequency:
+    def test_sf_decreases_every_n_acks_not_per_rtt(self):
+        cfg = HpccConfig(sampling_acks=5)
+        cc = HpccCC(env(), cfg)
+        nosf = HpccCC(env())
+        for proto in (cc, nosf):
+            sender = FakeSender()
+            proto.bind(sender, None)
+            sender.next_seq = 10_000_000  # keep every ack inside "one RTT"
+            bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+            T = 5_000.0
+            q = 2 * bytes_per_ns * T
+            # Space telemetry T/5 apart so the EWMA'd U converges quickly.
+            proto.on_ack(ack(1000, q, 0.0, 0.0))
+            for i in range(1, 41):
+                proto.on_ack(
+                    ack(
+                        1000 + i,
+                        q,
+                        bytes_per_ns * (T / 5) * i,
+                        (T / 5) * i,
+                        now=(T / 5) * i,
+                    )
+                )
+        # The per-RTT baseline never crosses an RTT boundary, so it never
+        # touches the reference window; SF decreases every 5th ACK once the
+        # EWMA sees congestion.
+        assert nosf.reference_decreases == 0
+        assert cc.reference_decreases >= 3
+
+
+class TestVariableAI:
+    def test_vai_tokens_amplify_ai(self):
+        vai_cfg = hpcc_vai_config(env())
+        cc = HpccCC(env(), HpccConfig(vai=vai_cfg))
+        plain = HpccCC(env())
+        bytes_per_ns = gbps(100.0) / 8.0 / 1e9
+        T = 5_000.0
+        q = 3 * vai_cfg.token_thresh  # way past Token_Thresh
+        # Sequence numbers jump by 100 KB per ACK so every ACK crosses an
+        # RTT boundary (windows here are ~62 KB).
+        acks = [ack(100_000, q, 0.0, 0.0)]
+        for i in range(1, 8):
+            acks.append(
+                ack(
+                    (i + 1) * 100_000, q, bytes_per_ns * T * i, T * i, now=T * i
+                )
+            )
+        drive(cc, acks)
+        drive(plain, acks)
+        # VAI minted tokens (congestion >> threshold each RTT) and the
+        # dampener grew with the sustained congestion.
+        assert cc.vai.ai_bank > 0 or cc.vai.dampener > 0
+        # With tokens spent, the effective AI exceeded base at least once,
+        # leaving a larger window than the plain protocol.
+        assert cc.window_bytes >= plain.window_bytes
+
+
+class TestProbabilistic:
+    def test_starved_flow_rarely_reacts(self):
+        """With the reference window near zero the gate almost always ignores
+        decreases; at max window it always reacts."""
+        e = env()
+        cc = HpccCC(e, HpccConfig(probabilistic=True))
+        cc.reference_window = 10.0  # starved
+        gate_uses = sum(
+            cc.gate.allow(cc.reference_window, e.line_rate_window_bytes)
+            for _ in range(500)
+        )
+        assert gate_uses < 25
+        cc2 = HpccCC(e, HpccConfig(probabilistic=True))
+        assert all(
+            cc2.gate.allow(e.line_rate_window_bytes, e.line_rate_window_bytes)
+            for _ in range(100)
+        )

@@ -1,0 +1,228 @@
+"""Property-based invariants for every congestion-control implementation.
+
+Hypothesis drives each protocol with arbitrary (but well-formed) ACK
+streams; regardless of the stream, the protocol must maintain:
+
+* a positive, finite window no larger than it allows sending usefully;
+* a pacing rate (when used) within [min, line rate];
+* no crashes, no NaNs.
+
+These are exactly the safety properties the substrate relies on — a window
+of 0 would deadlock a flow, NaN would corrupt the event schedule.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import CCEnv, make_cc, variant_names
+from repro.sim.packet import AckContext, HopRecord
+from repro.units import gbps
+
+
+def make_env(seed=0):
+    line = gbps(100.0)
+    rtt = 5_000.0
+    return CCEnv(
+        line_rate_bps=line,
+        base_rtt_ns=rtt,
+        mtu_bytes=1000,
+        hops=2,
+        min_bdp_bytes=line / 8.0 * rtt / 1e9,
+        rng=random.Random(seed),
+    )
+
+
+class FakeSender:
+    def __init__(self):
+        self.next_seq = 0
+
+
+class FakeSim:
+    def schedule(self, delay, fn, *args):
+        class Ev:
+            cancelled = False
+
+            def cancel(self):
+                self.cancelled = True
+
+        return Ev()
+
+
+class FakeHost:
+    sim = FakeSim()
+
+
+ack_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=100_000),  # seq increment
+        st.floats(min_value=100.0, max_value=500_000.0),  # rtt sample
+        st.booleans(),  # ece
+        st.floats(min_value=0.0, max_value=5_000_000.0),  # qlen
+        st.floats(min_value=10.0, max_value=20_000.0),  # time increment
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def drive(variant, stream):
+    env = make_env()
+    cc = make_cc(variant, env)
+    sender = FakeSender()
+    cc.bind(sender, FakeHost())
+    cc.on_flow_start(0.0)
+    now = 0.0
+    seq = 0
+    tx_bytes = 0.0
+    for d_seq, rtt, ece, qlen, d_t in stream:
+        now += d_t
+        seq += d_seq
+        tx_bytes += d_seq
+        sender.next_seq = seq + int(min(cc.window_bytes, 1e9))
+        ctx = AckContext(
+            now=now,
+            ack_seq=seq,
+            newly_acked=min(d_seq, 100_000),
+            ece=ece,
+            int_records=[HopRecord(qlen, tx_bytes, now - rtt / 2, gbps(100.0))],
+            rtt=rtt,
+            hops=2,
+        )
+        cc.on_ack(ctx)
+        if ece and variant == "dcqcn":
+            cc.on_cnp(now)
+        yield cc
+
+
+class TestProtocolSafetyInvariants:
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_hpcc_invariants(self, stream):
+        env = make_env()
+        for cc in drive("hpcc", stream):
+            assert 1000.0 <= cc.window_bytes <= env.line_rate_window_bytes + 1
+            assert math.isfinite(cc.window_bytes)
+            assert cc.pacing_rate_bps is None or cc.pacing_rate_bps > 0
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_hpcc_vai_sf_invariants(self, stream):
+        env = make_env()
+        for cc in drive("hpcc-vai-sf", stream):
+            assert 1000.0 <= cc.window_bytes <= env.line_rate_window_bytes + 1
+            assert 0.0 <= cc.vai.ai_bank <= cc.vai.config.bank_cap
+            assert cc.vai.dampener >= 0.0
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_swift_invariants(self, stream):
+        env = make_env()
+        for cc in drive("swift", stream):
+            assert 1000.0 <= cc.window_bytes <= env.line_rate_window_bytes + 1
+            assert math.isfinite(cc.cwnd)
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_swift_vai_sf_invariants(self, stream):
+        for cc in drive("swift-vai-sf", stream):
+            assert math.isfinite(cc.window_bytes)
+            assert cc.window_bytes >= 1000.0
+            assert cc.reference_cwnd >= 1000.0
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_dcqcn_invariants(self, stream):
+        for cc in drive("dcqcn", stream):
+            assert cc.config.min_rate_bps <= cc.current_rate_bps <= gbps(100.0)
+            assert cc.current_rate_bps <= cc.pacing_rate_bps + 1e-6
+            assert 0.0 <= cc.alpha <= 1.0
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_dctcp_invariants(self, stream):
+        for cc in drive("dctcp", stream):
+            assert 0.0 <= cc.alpha <= 1.0
+            assert cc.window_bytes >= 1000.0
+            assert math.isfinite(cc.window_bytes)
+
+    @given(stream=ack_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_timely_invariants(self, stream):
+        for cc in drive("timely", stream):
+            assert cc.config.min_rate_bps <= cc.rate_bps <= gbps(100.0)
+            assert math.isfinite(cc.rtt_diff_ewma)
+
+    @given(stream=ack_stream)
+    @settings(max_examples=15, deadline=None)
+    def test_every_variant_survives_any_stream(self, stream):
+        for variant in variant_names():
+            for cc in drive(variant, stream):
+                # Rate-based protocols (DCQCN) use an unbounded window by
+                # design; they must then expose a finite positive pacing rate.
+                if math.isinf(cc.window_bytes):
+                    assert cc.pacing_rate_bps is not None
+                    assert 0 < cc.pacing_rate_bps <= gbps(100.0)
+                else:
+                    assert math.isfinite(cc.window_bytes)
+                    assert cc.window_bytes >= 1000.0
+
+
+class TestMonotonicReactions:
+    """Directional sanity: clean signals move windows the right way."""
+
+    def test_uncongested_stream_grows_every_window_protocol(self):
+        # Low RTT, no marks, empty queues: windows must not shrink.
+        stream = [(1000, 4_500.0, False, 0.0, 1_000.0) for _ in range(60)]
+        for variant in ("hpcc", "swift", "dctcp"):
+            env = make_env()
+            cc = make_cc(variant, env)
+            sender = FakeSender()
+            cc.bind(sender, FakeHost())
+            # Start below the cap so growth is observable.
+            if hasattr(cc, "reference_window"):
+                cc.reference_window = cc.window_bytes = 20_000.0
+            if hasattr(cc, "cwnd"):
+                cc.cwnd = cc.window_bytes = 20_000.0
+            if hasattr(cc, "reference_cwnd"):
+                cc.reference_cwnd = 20_000.0
+            w0 = cc.window_bytes
+            now, seq, tx = 0.0, 0, 0.0
+            for d_seq, rtt, ece, qlen, d_t in stream:
+                now += d_t
+                seq += d_seq
+                tx += d_seq
+                sender.next_seq = seq + 10_000
+                cc.on_ack(
+                    AckContext(
+                        now, seq, d_seq, ece,
+                        [HopRecord(qlen, tx, now - rtt / 2, gbps(100.0))],
+                        rtt, 2,
+                    )
+                )
+            assert cc.window_bytes >= w0, variant
+
+    def test_heavily_congested_stream_shrinks_every_window_protocol(self):
+        stream = [(1000, 400_000.0, True, 4_000_000.0, 5_000.0) for _ in range(60)]
+        for variant in ("hpcc", "swift", "dctcp"):
+            env = make_env()
+            cc = make_cc(variant, env)
+            sender = FakeSender()
+            cc.bind(sender, FakeHost())
+            w0 = cc.window_bytes
+            now, seq, tx = 0.0, 0, 0.0
+            for d_seq, rtt, ece, qlen, d_t in stream:
+                now += d_t
+                seq += d_seq
+                tx += 100.0  # almost no progress: path is jammed
+                sender.next_seq = seq + int(cc.window_bytes)
+                cc.on_ack(
+                    AckContext(
+                        now, seq, d_seq, ece,
+                        [HopRecord(qlen, tx, now - rtt / 2, gbps(100.0))],
+                        rtt, 2,
+                    )
+                )
+            assert cc.window_bytes < w0, variant

@@ -1,0 +1,205 @@
+"""Unit tests for the Swift implementation (driven with synthetic ACKs)."""
+
+import math
+import random
+
+import pytest
+
+from repro.cc.base import CCEnv
+from repro.cc.factory import swift_vai_config
+from repro.cc.swift import SwiftCC, SwiftConfig
+from repro.sim.packet import AckContext
+from repro.units import gbps, us
+
+
+def env(line=gbps(100.0), rtt=5_000.0):
+    return CCEnv(
+        line_rate_bps=line,
+        base_rtt_ns=rtt,
+        mtu_bytes=1000,
+        hops=2,
+        min_bdp_bytes=line / 8.0 * rtt / 1e9,
+        rng=random.Random(0),
+    )
+
+
+class FakeSender:
+    def __init__(self):
+        self.next_seq = 10_000_000
+
+
+def ack(seq, rtt_ns, now, acked=1000):
+    return AckContext(
+        now=now,
+        ack_seq=seq,
+        newly_acked=acked,
+        ece=False,
+        int_records=None,
+        rtt=rtt_ns,
+        hops=2,
+    )
+
+
+def bind(cc):
+    cc.bind(FakeSender(), None)
+    return cc
+
+
+class TestTargetDelay:
+    def test_topology_scaling(self):
+        cfg = SwiftConfig(use_fbs=False)
+        cc = SwiftCC(env(), cfg)
+        # base 5 us + 2 us/hop * 2 hops = 9 us
+        assert cc.target_delay_ns() == pytest.approx(us(9))
+
+    def test_fbs_raises_target_for_small_windows(self):
+        cfg = SwiftConfig(use_fbs=True, fs_max_cwnd_pkts=50.0)
+        cc = SwiftCC(env(), cfg)
+        big = cc.flow_scaling_ns(50 * 1000.0)
+        small = cc.flow_scaling_ns(1 * 1000.0)
+        assert big == pytest.approx(0.0, abs=1e-9)
+        assert small > 0
+
+    def test_fbs_term_clamped_to_range(self):
+        cfg = SwiftConfig(use_fbs=True, fs_range_ns=us(10), fs_min_cwnd_pkts=0.1)
+        cc = SwiftCC(env(), cfg)
+        assert cc.flow_scaling_ns(1.0) <= us(10)
+        assert cc.flow_scaling_ns(1e9) >= 0.0
+
+    def test_fbs_monotone_decreasing_in_window(self):
+        cc = SwiftCC(env(), SwiftConfig())
+        values = [cc.flow_scaling_ns(w * 1000.0) for w in (1, 2, 5, 10, 50, 100)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestIncrease:
+    def test_ai_below_target(self):
+        cc = bind(SwiftCC(env(), SwiftConfig(use_fbs=False)))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        w0 = cc.cwnd
+        cc.on_ack(ack(1000, rtt_ns=us(5), now=us(5)))  # below 9 us target
+        # Scaled per-ACK AI: ai * acked / cwnd.
+        expected = w0 + cc.base_ai_bytes * 1000 / w0
+        assert cc.cwnd == pytest.approx(expected, rel=1e-6)
+
+    def test_no_increase_when_congested_without_always_ai(self):
+        cc = bind(SwiftCC(env(), SwiftConfig(use_fbs=False)))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        cc.last_decrease_time = 0.0
+        before = cc.cwnd
+        # Heavy delay, but a decrease just happened (within one RTT):
+        # neither increase nor decrease may fire.
+        cc.on_ack(ack(1000, rtt_ns=us(20), now=us(1)))
+        assert cc.cwnd <= before
+
+    def test_always_ai_increases_even_when_congested(self):
+        cfg = SwiftConfig(use_fbs=False, always_ai=True)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        cc.reference_cwnd = 30_000.0
+        cc.last_decrease_time = 0.0
+        cc.on_ack(ack(1000, rtt_ns=us(20), now=us(1)))
+        # AI applied on top of (possibly) no decrease.
+        assert cc.increase_bytes > 0
+
+
+class TestDecrease:
+    def test_mdf_formula(self):
+        cfg = SwiftConfig(use_fbs=False, beta=0.8, mdf_floor=0.5)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        delay, target = us(10), us(9)
+        cc.on_ack(ack(1000, rtt_ns=delay, now=us(100)))
+        mdf = 1.0 - 0.8 * (delay - target) / delay
+        assert cc.cwnd == pytest.approx(30_000.0 * mdf, rel=1e-6)
+
+    def test_mdf_floored_at_half(self):
+        cfg = SwiftConfig(use_fbs=False, beta=0.8, mdf_floor=0.5)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        cc.on_ack(ack(1000, rtt_ns=us(900), now=us(1000)))  # huge delay
+        assert cc.cwnd == pytest.approx(15_000.0, rel=1e-6)
+
+    def test_once_per_rtt_gating(self):
+        cfg = SwiftConfig(use_fbs=False)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = 30_000.0
+        cc.on_ack(ack(1000, rtt_ns=us(20), now=us(100)))
+        after_first = cc.cwnd
+        cc.on_ack(ack(2000, rtt_ns=us(20), now=us(105)))  # within one RTT
+        assert cc.cwnd == after_first
+        cc.on_ack(ack(3000, rtt_ns=us(20), now=us(125)))  # an RTT later
+        assert cc.cwnd < after_first
+
+    def test_window_floor_one_mtu(self):
+        cfg = SwiftConfig(use_fbs=False)
+        cc = bind(SwiftCC(env(), cfg))
+        for i in range(50):
+            cc.on_ack(ack(1000 * i, rtt_ns=us(500), now=us(1000 * i)))
+        assert cc.window_bytes >= 1000.0
+
+
+class TestSamplingFrequencyAndReference:
+    def test_reference_rate_prevents_compounding(self):
+        """Per-ACK decreases inside one sampling period all derive from the
+        same reference, so ten congested ACKs shrink cwnd once, not 10x."""
+        cfg = SwiftConfig(use_fbs=False, sampling_acks=30, use_reference_rate=True)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = cc.reference_cwnd = 30_000.0
+        for i in range(10):
+            cc.on_ack(ack(1000 * (i + 1), rtt_ns=us(18), now=us(5) * (i + 1)))
+        mdf = max(1.0 - 0.8 * (us(18) - us(9)) / us(18), 0.5)
+        assert cc.cwnd == pytest.approx(30_000.0 * mdf, rel=1e-6)
+
+    def test_reference_updates_on_sampling_grant(self):
+        cfg = SwiftConfig(use_fbs=False, sampling_acks=5, use_reference_rate=True)
+        cc = bind(SwiftCC(env(), cfg))
+        cc.cwnd = cc.window_bytes = cc.reference_cwnd = 30_000.0
+        for i in range(5):
+            cc.on_ack(ack(1000 * (i + 1), rtt_ns=us(18), now=us(5) * (i + 1)))
+        # The 5th ACK granted a reference update.
+        assert cc.reference_cwnd < 30_000.0
+        assert cc.decreases == 1
+
+    def test_faster_acking_flow_decreases_more(self):
+        """Sec. IV-B's fairness force, end to end at the protocol level."""
+        def run(n_acks):
+            cfg = SwiftConfig(use_fbs=False, sampling_acks=10, use_reference_rate=True)
+            cc = bind(SwiftCC(env(), cfg))
+            cc.cwnd = cc.window_bytes = cc.reference_cwnd = 50_000.0
+            for i in range(n_acks):
+                cc.on_ack(ack(1000 * (i + 1), rtt_ns=us(12), now=us(1) * (i + 1)))
+            return cc.decreases
+
+        assert run(100) > run(30)
+
+
+class TestVariableAIIntegration:
+    def test_tokens_minted_from_delay(self):
+        cfg = SwiftConfig(use_fbs=False, always_ai=True)
+        cfg.vai = swift_vai_config(env(), cfg)
+        cc = SwiftCC(env(), cfg)
+        sender = FakeSender()
+        sender.next_seq = 0
+        cc.bind(sender, None)
+        # Drive RTT boundaries with huge delays: each ack crosses a boundary
+        # because next_seq stays 0 < ack_seq... (boundary = seq > last mark).
+        for i in range(1, 6):
+            sender.next_seq = 0
+            cc.on_ack(ack(100_000 * i, rtt_ns=us(100), now=us(100) * i))
+        assert cc.vai.ai_bank > 0 or cc._ai_multiplier > 1.0
+
+    def test_dampener_resets_after_quiet_rtts(self):
+        cfg = SwiftConfig(use_fbs=False, always_ai=True)
+        cfg.vai = swift_vai_config(env(), cfg)
+        cc = SwiftCC(env(), cfg)
+        sender = FakeSender()
+        sender.next_seq = 0
+        cc.bind(sender, None)
+        for i in range(1, 4):
+            cc.on_ack(ack(100_000 * i, rtt_ns=us(100), now=us(100) * i))
+        assert cc.vai.dampener > 0
+        for i in range(4, 60):
+            cc.on_ack(ack(100_000 * i, rtt_ns=us(5), now=us(100) * i))
+        assert cc.vai.dampener == 0.0
+        assert cc.vai.ai_bank == 0.0

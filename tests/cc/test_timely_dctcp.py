@@ -1,0 +1,199 @@
+"""Unit tests for the TIMELY and DCTCP extension protocols."""
+
+import random
+
+import pytest
+
+from repro.cc import CCEnv, DctcpCC, TimelyCC, make_cc
+from repro.cc.dctcp import DctcpConfig, dctcp_vai_config
+from repro.cc.factory import timely_config, timely_vai_config
+from repro.cc.timely import TimelyConfig
+from repro.sim.packet import AckContext
+from repro.units import gbps, us
+
+
+def env(line=gbps(100.0), rtt=5_000.0):
+    return CCEnv(
+        line_rate_bps=line,
+        base_rtt_ns=rtt,
+        mtu_bytes=1000,
+        hops=2,
+        min_bdp_bytes=line / 8.0 * rtt / 1e9,
+        rng=random.Random(0),
+    )
+
+
+class FakeSender:
+    next_seq = 10_000_000
+
+
+def ack(seq, rtt_ns, now, ece=False, acked=1000):
+    return AckContext(
+        now=now, ack_seq=seq, newly_acked=acked, ece=ece,
+        int_records=None, rtt=rtt_ns, hops=2,
+    )
+
+
+class TestTimelyBasics:
+    def _cc(self, **kw):
+        cfg = TimelyConfig(t_low_ns=us(5), t_high_ns=us(50), **kw)
+        cc = TimelyCC(env(), cfg)
+        cc.bind(FakeSender(), None)
+        return cc
+
+    def test_starts_at_line_rate(self):
+        cc = self._cc()
+        assert cc.rate_bps == gbps(100.0)
+        assert cc.pacing_rate_bps == gbps(100.0)
+
+    def test_increase_below_t_low(self):
+        cc = self._cc()
+        cc._set_rate(gbps(50.0))
+        cc.on_ack(ack(1000, rtt_ns=us(4), now=us(4)))
+        assert cc.rate_bps > gbps(50.0)
+
+    def test_decrease_above_t_high(self):
+        cc = self._cc()
+        cc.on_ack(ack(1000, rtt_ns=us(100), now=us(100)))
+        expected = gbps(100.0) * (1 - 0.8 * (1 - us(50) / us(100)))
+        assert cc.rate_bps == pytest.approx(expected)
+        assert cc.decreases == 1
+
+    def test_decrease_once_per_rtt(self):
+        cc = self._cc()
+        cc.on_ack(ack(1000, rtt_ns=us(100), now=us(100)))
+        r = cc.rate_bps
+        cc.on_ack(ack(2000, rtt_ns=us(100), now=us(101)))  # same RTT window
+        assert cc.rate_bps == r
+
+    def test_gradient_decrease_in_band(self):
+        cc = self._cc()
+        # Rising RTTs inside [t_low, t_high]: positive gradient -> decrease.
+        cc.on_ack(ack(1000, rtt_ns=us(10), now=us(10)))
+        cc.on_ack(ack(2000, rtt_ns=us(30), now=us(40)))
+        assert cc.rate_bps < gbps(100.0)
+
+    def test_hai_mode_after_streak(self):
+        cc = self._cc(hai_threshold=3, hai_multiplier=5.0)
+        cc._set_rate(gbps(10.0))
+        # Falling RTTs in band: negative gradient streak.
+        rtts = [us(30), us(28), us(26), us(24), us(22), us(20)]
+        for i, r in enumerate(rtts):
+            cc.on_ack(ack(1000 * (i + 1), rtt_ns=r, now=us(10) * (i + 1)))
+        assert cc.hai_events > 0
+
+    def test_rate_bounds(self):
+        cc = self._cc()
+        for i in range(100):
+            cc.on_ack(ack(1000 * i, rtt_ns=us(500), now=us(100) * (i + 1)))
+        assert cc.rate_bps >= cc.config.min_rate_bps
+        cc2 = self._cc()
+        for i in range(100):
+            cc2.on_ack(ack(1000 * i, rtt_ns=us(1), now=us(100) * (i + 1)))
+        assert cc2.rate_bps <= gbps(100.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TimelyConfig(t_low_ns=us(50), t_high_ns=us(5))
+        with pytest.raises(ValueError):
+            TimelyConfig(ewma_alpha=0.0)
+
+    def test_sf_gates_decreases(self):
+        cfg = TimelyConfig(t_low_ns=us(5), t_high_ns=us(50), sampling_acks=5)
+        cc = TimelyCC(env(), cfg)
+        cc.bind(FakeSender(), None)
+        for i in range(4):
+            cc.on_ack(ack(1000 * (i + 1), rtt_ns=us(100), now=us(1) * (i + 1)))
+        assert cc.decreases == 0  # no grant yet
+        cc.on_ack(ack(5000, rtt_ns=us(100), now=us(5)))
+        assert cc.decreases == 1  # the 5th ACK granted one
+
+
+class TestDctcpBasics:
+    def _cc(self, **kw):
+        cc = DctcpCC(env(), DctcpConfig(**kw))
+        cc.bind(FakeSender(), None)
+        return cc
+
+    def test_starts_at_line_rate_window(self):
+        cc = self._cc()
+        assert cc.window_bytes == pytest.approx(env().line_rate_window_bytes)
+
+    def test_alpha_tracks_marked_fraction(self):
+        cc = self._cc(g=0.5)
+        sender = FakeSender()
+        sender.next_seq = 0  # every ACK becomes its own RTT boundary
+        cc.bind(sender, None)
+        # A fully-marked RTT keeps alpha at 1; an unmarked RTT halves it.
+        cc.on_ack(ack(1000, us(5), us(1), ece=True))
+        assert cc.alpha == pytest.approx(1.0)
+        assert cc.last_fraction == pytest.approx(1.0)
+        cc.on_ack(ack(2000, us(5), us(2), ece=False))
+        assert cc.alpha == pytest.approx(0.5)
+        assert cc.last_fraction == 0.0
+
+    def test_decrease_once_per_rtt(self):
+        cc = self._cc()
+        cc.cwnd = cc.window_bytes = 30_000.0
+        cc._decrease_armed = True
+        cc.on_ack(ack(1000, us(5), us(1), ece=True))
+        w1 = cc.cwnd
+        cc.on_ack(ack(2000, us(5), us(2), ece=True))
+        assert cc.cwnd == pytest.approx(w1)  # second mark in same RTT ignored
+
+    def test_additive_increase_without_marks(self):
+        cc = self._cc()
+        cc.cwnd = cc.window_bytes = 30_000.0
+        w0 = cc.cwnd
+        cc.on_ack(ack(1000, us(5), us(1), ece=False))
+        assert cc.cwnd > w0
+
+    def test_window_floor(self):
+        cc = self._cc()
+        for i in range(100):
+            cc._decrease_armed = True
+            cc.on_ack(ack(1000 * (i + 1), us(5), us(1) * (i + 1), ece=True))
+        assert cc.window_bytes >= 1000.0
+
+    def test_sf_reference_semantics(self):
+        cc = DctcpCC(env(), DctcpConfig(sampling_acks=30))
+        cc.bind(FakeSender(), None)
+        cc.cwnd = cc.window_bytes = cc.reference_cwnd = 30_000.0
+        cc.alpha = 1.0
+        for i in range(10):
+            cc.on_ack(ack(1000 * (i + 1), us(5), us(1) * (i + 1), ece=True))
+        # Ten marked ACKs within one sampling period: one halving, not ten.
+        assert cc.cwnd == pytest.approx(15_000.0, rel=1e-6)
+
+    def test_vai_config_units(self):
+        cfg = dctcp_vai_config()
+        assert cfg.token_thresh == 0.5  # marked fraction
+        assert cfg.ai_cap == 100.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DctcpConfig(g=0.0)
+
+
+class TestFactoryIntegration:
+    def test_new_variants_instantiate(self):
+        for name in ("timely", "timely-vai-sf", "dctcp", "dctcp-vai-sf"):
+            cc = make_cc(name, env())
+            assert cc.window_bytes > 0
+
+    def test_timely_thresholds_scale_with_path(self):
+        cfg = timely_config(env(rtt=10_000.0), delta_bps=50e6)
+        assert cfg.t_low_ns == pytest.approx(11_000.0)
+        assert cfg.t_high_ns > cfg.t_low_ns
+
+    def test_timely_vai_config(self):
+        tcfg = timely_config(env(), delta_bps=50e6)
+        vcfg = timely_vai_config(env(), tcfg)
+        assert vcfg.token_thresh > tcfg.t_low_ns
+        assert vcfg.ai_div > 0
+
+    def test_vai_sf_wiring(self):
+        cc = make_cc("timely-vai-sf", env())
+        assert cc.vai is not None and cc.sf is not None
+        cc2 = make_cc("dctcp-vai-sf", env())
+        assert cc2.vai is not None and cc2.sf is not None

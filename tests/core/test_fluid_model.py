@@ -1,0 +1,147 @@
+"""Tests for the Sec. IV-B fluid model (Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fluid_model import (
+    FluidModelParams,
+    fairness_difference,
+    fairness_gap_slope_at_zero,
+    fig4_series,
+    gbps_to_bytes_per_ns,
+    initial_slope_condition,
+    integrate_numerically,
+    per_rtt_rate,
+    sampling_rate,
+)
+
+
+class TestUnits:
+    def test_100gbps_is_12_5_bytes_per_ns(self):
+        assert gbps_to_bytes_per_ns(100.0) == pytest.approx(12.5)
+
+    def test_paper_defaults(self):
+        p = FluidModelParams()
+        assert p.rtt_ns == 30_000.0
+        assert p.sampling_acks == 30
+        assert p.mtu_bytes == 1_000.0
+        assert p.beta == 0.5
+        assert p.rate1_bytes_per_ns == pytest.approx(12.5)
+        assert p.rate0_bytes_per_ns == pytest.approx(6.25)
+
+
+class TestClosedForms:
+    def test_per_rtt_decays_by_beta_per_interval(self):
+        """Integrating R' = -beta R / r over r decays by exp(-beta)."""
+        p = FluidModelParams()
+        r = per_rtt_rate(np.array([0.0, p.rtt_ns]), 10.0, p)
+        assert r[1] / r[0] == pytest.approx(np.exp(-p.beta))
+
+    def test_sampling_rate_decrease_interval(self):
+        """S' = -beta S^2/(s MTU): after one decrease interval f = s*MTU/S0
+        the rate falls to S0/(1+beta) (the linearized 'decrease by beta')."""
+        p = FluidModelParams()
+        s0 = p.rate1_bytes_per_ns
+        f = p.sampling_acks * p.mtu_bytes / s0
+        s = sampling_rate(np.array([f]), s0, p)
+        assert s[0] == pytest.approx(s0 / (1.0 + p.beta))
+
+    def test_rates_monotone_decreasing(self):
+        p = FluidModelParams()
+        t = np.linspace(0, 1e6, 200)
+        for series in (per_rtt_rate(t, 12.5, p), sampling_rate(t, 12.5, p)):
+            assert np.all(np.diff(series) < 0)
+            assert np.all(series > 0)
+
+    def test_closed_forms_match_ode_integration(self):
+        p = FluidModelParams()
+        t, r_pair, s_pair = integrate_numerically(200_000.0, p, n_points=50)
+        assert np.allclose(r_pair[:, 0], per_rtt_rate(t, p.rate1_bytes_per_ns, p), rtol=1e-6)
+        assert np.allclose(r_pair[:, 1], per_rtt_rate(t, p.rate0_bytes_per_ns, p), rtol=1e-6)
+        assert np.allclose(s_pair[:, 0], sampling_rate(t, p.rate1_bytes_per_ns, p), rtol=1e-6)
+        assert np.allclose(s_pair[:, 1], sampling_rate(t, p.rate0_bytes_per_ns, p), rtol=1e-6)
+
+
+class TestFig4Shape:
+    def test_difference_zero_at_t0(self):
+        t, diff = fig4_series()
+        assert diff[0] == pytest.approx(0.0)
+
+    def test_difference_positive_hump_then_decays(self):
+        """The paper's Fig. 4: SF is fairer (positive difference) with a peak
+        early on, diminishing over time."""
+        t, diff = fig4_series(t_end_ns=300_000.0, n_points=600)
+        assert np.all(diff[1:] > 0)
+        peak = int(np.argmax(diff))
+        assert 0 < peak < len(t) // 2  # peak in the first half
+        assert diff[-1] < diff[peak] / 2  # decays substantially
+
+    def test_initial_slope_condition_holds_for_paper_params(self):
+        assert initial_slope_condition(FluidModelParams())
+
+    def test_slope_formula_matches_numerical_derivative(self):
+        p = FluidModelParams()
+        eps = 1e-3
+        d = fairness_difference(np.array([0.0, eps]), p)
+        numeric = (d[1] - d[0]) / eps
+        assert fairness_gap_slope_at_zero(p) == pytest.approx(numeric, rel=1e-4)
+
+    def test_condition_false_for_slow_sampling(self):
+        """With a huge s the per-RTT schedule wins initially."""
+        p = FluidModelParams(sampling_acks=10_000)
+        assert not initial_slope_condition(p)
+        assert fairness_gap_slope_at_zero(p) < 0
+
+
+class TestValidation:
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            FluidModelParams(beta=1.5)
+
+    def test_rate_order_enforced(self):
+        with pytest.raises(ValueError):
+            FluidModelParams(
+                rate1_bytes_per_ns=1.0, rate0_bytes_per_ns=2.0
+            )
+
+
+class TestProperties:
+    @given(
+        beta=st.floats(min_value=0.05, max_value=0.95),
+        s=st.integers(min_value=1, max_value=100),
+        r=st.floats(min_value=1_000.0, max_value=100_000.0),
+        c1=st.floats(min_value=2.0, max_value=12.5),
+        gap=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slope_sign_matches_condition(self, beta, s, r, c1, gap):
+        """The paper's condition exactly predicts the initial slope's sign."""
+        p = FluidModelParams(
+            rtt_ns=r,
+            sampling_acks=s,
+            beta=beta,
+            rate1_bytes_per_ns=c1,
+            rate0_bytes_per_ns=c1 * gap,
+        )
+        slope = fairness_gap_slope_at_zero(p)
+        if initial_slope_condition(p):
+            assert slope > 0
+        else:
+            assert slope <= 1e-12
+
+    @given(
+        c1=st.floats(min_value=1.0, max_value=12.5),
+        gap=st.floats(min_value=0.1, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sampling_model_gap_always_shrinks(self, c1, gap):
+        """Under the SF model the absolute rate gap is non-increasing: the
+        faster flow always decays faster (quadratic drag)."""
+        p = FluidModelParams(rate1_bytes_per_ns=c1, rate0_bytes_per_ns=c1 * gap)
+        t = np.linspace(0, 1e6, 100)
+        s1 = sampling_rate(t, c1, p)
+        s0 = sampling_rate(t, c1 * gap, p)
+        gaps = s1 - s0
+        assert np.all(np.diff(gaps) <= 1e-12)

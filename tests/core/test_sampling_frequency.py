@@ -1,0 +1,66 @@
+"""Tests for the Sampling Frequency ACK counter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling_frequency import SamplingFrequency
+
+
+class TestBasics:
+    def test_grant_every_n_acks(self):
+        sf = SamplingFrequency(3)
+        grants = [sf.on_ack() for _ in range(9)]
+        assert grants == [False, False, True] * 3
+
+    def test_interval_one_grants_every_ack(self):
+        sf = SamplingFrequency(1)
+        assert all(sf.on_ack() for _ in range(5))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            SamplingFrequency(0)
+
+    def test_reset_restarts_count(self):
+        sf = SamplingFrequency(3)
+        sf.on_ack()
+        sf.on_ack()
+        sf.reset()
+        assert sf.on_ack() is False
+        assert sf.acks_since_grant == 1
+
+    def test_grant_counter(self):
+        sf = SamplingFrequency(5)
+        for _ in range(27):
+            sf.on_ack()
+        assert sf.decreases_granted == 5
+
+
+class TestFairnessMechanism:
+    def test_faster_flow_granted_more_decreases(self):
+        """The core of Sec. IV-B: a flow with twice the ACK rate is granted
+        twice as many decreases in the same wall-clock window."""
+        fast, slow = SamplingFrequency(30), SamplingFrequency(30)
+        fast_grants = sum(fast.on_ack() for _ in range(600))
+        slow_grants = sum(slow.on_ack() for _ in range(300))
+        assert fast_grants == 2 * slow_grants
+
+
+class TestProperties:
+    @given(
+        interval=st.integers(min_value=1, max_value=100),
+        n_acks=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_grant_count_is_floor_division(self, interval, n_acks):
+        sf = SamplingFrequency(interval)
+        grants = sum(sf.on_ack() for _ in range(n_acks))
+        assert grants == n_acks // interval
+
+    @given(interval=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_count_never_reaches_interval(self, interval):
+        sf = SamplingFrequency(interval)
+        for _ in range(500):
+            sf.on_ack()
+            assert 0 <= sf.acks_since_grant < interval

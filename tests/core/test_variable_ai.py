@@ -1,0 +1,213 @@
+"""Tests for Variable AI (Algorithms 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variable_ai import VariableAI, VariableAIConfig
+
+
+def make(thresh=50_000.0, ai_div=1_000.0, bank_cap=1000.0, ai_cap=100.0, dconst=8.0):
+    return VariableAI(
+        VariableAIConfig(
+            token_thresh=thresh,
+            ai_div=ai_div,
+            bank_cap=bank_cap,
+            ai_cap=ai_cap,
+            dampener_constant=dconst,
+        )
+    )
+
+
+class TestConfigValidation:
+    def test_positive_thresh_required(self):
+        with pytest.raises(ValueError):
+            VariableAIConfig(token_thresh=0.0, ai_div=1.0)
+
+    def test_positive_ai_div_required(self):
+        with pytest.raises(ValueError):
+            VariableAIConfig(token_thresh=1.0, ai_div=0.0)
+
+    def test_positive_dampener_constant(self):
+        with pytest.raises(ValueError):
+            VariableAIConfig(token_thresh=1.0, ai_div=1.0, dampener_constant=0.0)
+
+
+class TestTokenGeneration:
+    def test_no_tokens_below_threshold(self):
+        vai = make()
+        vai.observe(40_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.ai_bank == 0.0
+
+    def test_tokens_minted_above_threshold(self):
+        vai = make()
+        vai.observe(80_000.0)  # 80 KB queue, thresh 50 KB, 1 token/KB
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.ai_bank == pytest.approx(80.0)
+
+    def test_bank_capped(self):
+        vai = make(bank_cap=100.0)
+        for _ in range(10):
+            vai.observe(90_000.0)
+            vai.on_rtt_end(no_congestion=False)
+        assert vai.ai_bank == 100.0
+
+    def test_observe_tracks_maximum(self):
+        vai = make()
+        vai.observe(60_000.0)
+        vai.observe(90_000.0)
+        vai.observe(70_000.0)
+        assert vai.measured_congestion == 90_000.0
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.ai_bank == pytest.approx(90.0)
+
+    def test_measurement_resets_each_rtt(self):
+        vai = make()
+        vai.observe(90_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.measured_congestion == 0.0
+
+
+class TestDampener:
+    def test_dampener_grows_with_congestion(self):
+        vai = make()
+        vai.observe(100_000.0)  # 2x threshold
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.dampener == pytest.approx(2.0)
+
+    def test_dampener_only_resets_when_bank_empty_and_quiet(self):
+        vai = make()
+        vai.observe(100_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.ai_bank > 0
+        # Congestion-free RTT but bank not empty: dampener persists.
+        vai.on_rtt_end(no_congestion=True)
+        assert vai.dampener > 0
+        # Drain the bank.
+        while vai.ai_bank > 0:
+            vai.ai_multiplier(spend=True)
+        vai.on_rtt_end(no_congestion=True)
+        assert vai.dampener == 0.0
+
+    def test_dampener_decrements_when_mild_congestion_and_empty_bank(self):
+        vai = make()
+        vai.observe(400_000.0)  # dampener += 8
+        vai.on_rtt_end(no_congestion=False)
+        while vai.ai_bank > 0:
+            vai.ai_multiplier(spend=True)
+        d0 = vai.dampener
+        vai.observe(10_000.0)  # below threshold, but not congestion-free
+        vai.on_rtt_end(no_congestion=False)
+        assert vai.dampener == pytest.approx(d0 - 1.0)
+
+    def test_dampener_never_negative(self):
+        vai = make()
+        for _ in range(5):
+            vai.observe(10_000.0)
+            vai.on_rtt_end(no_congestion=False)
+        assert vai.dampener == 0.0
+
+    def test_dampener_divides_spent_tokens(self):
+        vai = make(dconst=8.0)
+        vai.observe(450_000.0)  # 450 tokens, dampener 9 -> divisor ~2.125
+        vai.on_rtt_end(no_congestion=False)
+        mult = vai.ai_multiplier(spend=True)
+        divisor = 9.0 / 8.0 + 1.0
+        assert mult == pytest.approx(100.0 / divisor)
+
+
+class TestTokenSpending:
+    def test_multiplier_at_least_one(self):
+        vai = make()
+        assert vai.ai_multiplier(spend=True) == 1.0
+
+    def test_spend_debits_bank(self):
+        vai = make()
+        vai.observe(80_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        vai.ai_multiplier(spend=True)
+        assert vai.ai_bank == 0.0  # 80 tokens < cap, all spent
+
+    def test_spend_caps_at_ai_cap(self):
+        vai = make(ai_cap=100.0)
+        vai.observe(500_000.0)  # 500 tokens minted
+        vai.on_rtt_end(no_congestion=False)
+        vai.ai_multiplier(spend=True)  # spends ai_cap = 100
+        assert vai.ai_bank == pytest.approx(400.0)
+
+    def test_peek_does_not_debit(self):
+        vai = make()
+        vai.observe(80_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        spent = vai.ai_multiplier(spend=True)
+        bank_after = vai.ai_bank
+        assert vai.ai_multiplier(spend=False) == spent
+        assert vai.ai_bank == bank_after
+
+    def test_reset(self):
+        vai = make()
+        vai.observe(500_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        vai.ai_multiplier(spend=True)
+        vai.reset()
+        assert vai.ai_bank == 0.0
+        assert vai.dampener == 0.0
+        assert vai.ai_multiplier(spend=False) == 1.0
+
+
+class TestFeedbackSafety:
+    def test_sustained_congestion_dampens_to_baseline(self):
+        """Under endless congestion the dampener keeps growing, so the
+        effective multiplier decays toward the floor of 1 — the no-feedback
+        guarantee of Sec. IV-A."""
+        vai = make()
+        mults = []
+        for _ in range(200):
+            vai.observe(150_000.0)
+            vai.on_rtt_end(no_congestion=False)
+            mults.append(vai.ai_multiplier(spend=True))
+        assert mults[-1] < mults[0]
+        assert mults[-1] < 5.0  # near the floor
+
+    def test_quiet_period_fully_recovers(self):
+        vai = make()
+        vai.observe(150_000.0)
+        vai.on_rtt_end(no_congestion=False)
+        for _ in range(50):
+            vai.ai_multiplier(spend=True)
+            vai.on_rtt_end(no_congestion=True)
+        assert vai.ai_bank == 0.0
+        assert vai.dampener == 0.0
+
+
+class TestVariableAIProperties:
+    @given(
+        observations=st.lists(
+            st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        quiet=st.lists(st.booleans(), min_size=1, max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold_under_any_schedule(self, observations, quiet):
+        vai = make()
+        cfg = vai.config
+        for obs, q in zip(observations, quiet):
+            vai.observe(obs)
+            vai.on_rtt_end(no_congestion=q and obs == 0.0)
+            mult = vai.ai_multiplier(spend=True)
+            assert 0.0 <= vai.ai_bank <= cfg.bank_cap
+            assert vai.dampener >= 0.0
+            assert 1.0 <= mult <= cfg.ai_cap
+
+    @given(congestion=st.floats(min_value=50_001.0, max_value=1e7, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_more_congestion_more_tokens(self, congestion):
+        low, high = make(), make()
+        low.observe(congestion)
+        low.on_rtt_end(no_congestion=False)
+        high.observe(congestion * 2)
+        high.on_rtt_end(no_congestion=False)
+        assert high.ai_bank >= low.ai_bank

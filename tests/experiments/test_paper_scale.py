@@ -1,0 +1,75 @@
+"""Smoke tests for the paper-scale code paths.
+
+Full paper-scale campaigns take hours (see examples/paper_scale_runner.py);
+these tests verify the *code paths* work at paper parameters by running the
+cheapest paper-faithful instances: a small-degree incast on the 100 Gbps
+star (identical link/protocol parameters to Sec. III-D) and a short slice
+of the 320-host fat-tree simulation.
+"""
+
+import pytest
+
+from repro.cc import make_cc, uses_cnp
+from repro.experiments import paper_datacenter, paper_incast, run_incast
+from repro.experiments.runner import make_env
+from repro.sim import Flow
+from repro.topology import FatTreeParams, build_fattree
+from repro.units import kb, ms, us
+from repro.workloads import generate_poisson_traffic, get_distribution
+from dataclasses import replace
+
+
+class TestPaperIncastPath:
+    def test_small_degree_paper_incast_runs(self):
+        cfg = replace(paper_incast("hpcc-vai-sf", n_senders=4), flow_size_bytes=kb(200))
+        result = run_incast(cfg)
+        assert result.all_completed
+        assert result.config.rate_bps == 100e9
+
+    def test_paper_incast_16_equals_scaled_16(self):
+        """The scaled preset IS the paper preset for the 16-1 pattern."""
+        from repro.experiments import scaled_incast
+
+        p = paper_incast("hpcc")
+        s = scaled_incast("hpcc")
+        assert (p.n_senders, p.flow_size_bytes, p.rate_bps, p.batch_interval_ns) == (
+            s.n_senders,
+            s.flow_size_bytes,
+            s.rate_bps,
+            s.batch_interval_ns,
+        )
+
+
+class TestPaperFatTreePath:
+    def test_paper_fattree_carries_traffic(self):
+        """A 20 us slice of paper-scale traffic on the full 320-host tree:
+        the wiring, routing, and env computation all work at scale."""
+        cfg = paper_datacenter("hpcc")
+        topo = build_fattree(cfg.fattree)
+        net = topo.network
+        dist = get_distribution(cfg.workload)
+        specs = generate_poisson_traffic(
+            n_hosts=len(topo.hosts),
+            host_rate_bps=cfg.fattree.host_rate_bps,
+            load=cfg.load,
+            duration_ns=us(20),
+            distribution=dist,
+            seed=cfg.seed,
+        )
+        assert specs, "20 us at 50% of 32 Tbps must contain arrivals"
+        for spec in specs[:50]:  # cap the slice so the test stays fast
+            src = topo.hosts[spec.src_index].node_id
+            dst = topo.hosts[spec.dst_index].node_id
+            size = min(spec.size_bytes, 100_000)
+            flow = Flow(net.next_flow_id(), src, dst, size, spec.start_time_ns)
+            flow.use_cnp = uses_cnp(cfg.variant)
+            net.add_flow(flow, make_cc(cfg.variant, make_env(net, src, dst)))
+        assert net.run_until_flows_complete(timeout_ns=ms(5.0))
+        assert net.total_drops() == 0
+
+    def test_paper_config_values(self):
+        cfg = paper_datacenter("swift", "websearch")
+        assert cfg.fattree == FatTreeParams()
+        assert cfg.duration_ns == ms(50)
+        assert cfg.size_scale == 1.0
+        assert cfg.workload == "websearch"

@@ -1,0 +1,90 @@
+"""Determinism and seed-sensitivity guarantees.
+
+Reproducibility is a first-class requirement for a paper reproduction:
+identical configurations must give bit-identical results, stochastic
+elements must be fully seed-controlled, and different seeds must actually
+explore different randomness.
+"""
+
+import pytest
+
+from repro.cc import make_cc, uses_cnp
+from repro.experiments import (
+    IncastConfig,
+    clear_caches,
+    run_datacenter,
+    run_incast,
+    scaled_datacenter,
+)
+from repro.experiments.config import red_for_rate
+from repro.experiments.runner import make_env
+from repro.sim import Flow, Network
+from repro.units import gbps, ms, us
+
+
+class TestBitwiseReproducibility:
+    def test_incast_identical_across_runs(self):
+        cfg = IncastConfig(variant="hpcc-vai-sf", n_senders=8, flow_size_bytes=300_000)
+        a = run_incast(cfg)
+        b = run_incast(cfg)
+        assert [f.fct for f in a.flows] == [f.fct for f in b.flows]
+        assert a.events_executed == b.events_executed
+        assert list(a.jain_values) == list(b.jain_values)
+
+    def test_datacenter_identical_across_runs(self):
+        cfg = scaled_datacenter("swift", "alistorage", duration_ns=ms(0.5))
+        a = run_datacenter(cfg)
+        b = run_datacenter(cfg)
+        assert [r.fct_ns for r in a.records] == [r.fct_ns for r in b.records]
+        assert a.events_executed == b.events_executed
+
+    def test_dcqcn_red_reproducible_with_seed(self):
+        """RED marking is random — but seed-controlled."""
+
+        def run(seed):
+            net = Network(seed=seed)
+            hosts = [net.add_host() for _ in range(3)]
+            sw = net.add_switch()
+            red = red_for_rate(gbps(100.0))
+            for h in hosts:
+                net.connect(h, sw, gbps(100.0), us(1), red=red)
+            net.build_routing()
+            dst = hosts[-1].node_id
+            fcts = []
+            for i, h in enumerate(hosts[:2]):
+                f = Flow(i, h.node_id, dst, 500_000, 0.0)
+                f.use_cnp = True
+                net.add_flow(f, make_cc("dcqcn", make_env(net, h.node_id, dst)))
+                fcts.append(f)
+            net.run_until_flows_complete(timeout_ns=us(50_000))
+            return [f.fct for f in fcts]
+
+        assert run(seed=5) == run(seed=5)
+        assert run(seed=5) != run(seed=6)  # different marks, different FCTs
+
+    def test_probabilistic_variant_reproducible_with_seed(self):
+        cfg = IncastConfig(variant="hpcc-prob", n_senders=8, flow_size_bytes=300_000)
+        a = run_incast(cfg)
+        b = run_incast(cfg)
+        assert [f.fct for f in a.flows] == [f.fct for f in b.flows]
+
+    def test_cached_and_cold_results_agree(self):
+        from repro.experiments import run_incast_cached
+
+        cfg = IncastConfig(variant="swift", n_senders=4, flow_size_bytes=200_000)
+        cached = run_incast_cached(cfg)
+        cold = run_incast(cfg)
+        assert [f.fct for f in cached.flows] == [f.fct for f in cold.flows]
+
+
+class TestSeedSensitivity:
+    def test_datacenter_seeds_generate_different_traffic(self):
+        a = run_datacenter(scaled_datacenter("hpcc", "hadoop", duration_ns=ms(0.5), seed=1))
+        b = run_datacenter(scaled_datacenter("hpcc", "hadoop", duration_ns=ms(0.5), seed=2))
+        assert [r.size_bytes for r in a.records] != [r.size_bytes for r in b.records]
+
+    def test_variants_see_identical_traffic_for_same_seed(self):
+        a = run_datacenter(scaled_datacenter("hpcc", "hadoop", duration_ns=ms(0.5)))
+        b = run_datacenter(scaled_datacenter("swift", "hadoop", duration_ns=ms(0.5)))
+        assert a.n_offered == b.n_offered
+        assert [r.size_bytes for r in a.records] == [r.size_bytes for r in b.records]

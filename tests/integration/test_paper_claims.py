@@ -1,0 +1,160 @@
+"""End-to-end reproductions of the paper's qualitative claims.
+
+These run small but real packet-level simulations (seconds each).  They are
+the heart of the reproduction: each test is one sentence from the paper
+turned into an executable assertion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_incast_cached, scaled_incast
+from repro.units import us
+
+
+@pytest.fixture(scope="module")
+def incast16():
+    """Run the 16-1 incast once per variant for the whole module."""
+
+    def run(variant):
+        return run_incast_cached(scaled_incast(variant, 16))
+
+    return run
+
+
+class TestSectionIIIE_BaselineUnfairness:
+    """Sec. III-E: sources of unfairness in default HPCC and Swift."""
+
+    def test_hpcc_late_flows_finish_first(self, incast16):
+        """'Flows that begin last finish first' — strongly negative
+        start-finish correlation in default HPCC."""
+        r = incast16("hpcc")
+        assert r.all_completed
+        assert r.start_finish_correlation() < -0.5
+
+    def test_swift_late_flows_finish_first(self, incast16):
+        r = incast16("swift")
+        assert r.all_completed
+        assert r.start_finish_correlation() < -0.5
+
+    def test_high_ai_flattens_finish_times(self, incast16):
+        """'Increasing AI ... eliminates this trend and the flows finish at
+        generally the same time.'"""
+        default = incast16("hpcc")
+        high = incast16("hpcc-1gbps")
+        assert high.finish_spread_ns() < default.finish_spread_ns() / 3
+        assert high.start_finish_correlation() > default.start_finish_correlation()
+
+    def test_probabilistic_feedback_improves_fairness(self, incast16):
+        default = incast16("hpcc")
+        prob = incast16("hpcc-prob")
+        assert prob.finish_spread_ns() < default.finish_spread_ns()
+
+    def test_default_converges_slowly(self, incast16):
+        """'Both Swift and HPCC take several hundred microseconds to get
+        close to an index of one.'"""
+        for variant in ("hpcc", "swift"):
+            r = incast16(variant)
+            conv = r.convergence_ns
+            assert conv is None or conv - r.last_start_ns > us(300)
+
+    def test_high_ai_converges_faster_but_larger_queues(self, incast16):
+        """Fig. 1: the high-AI variant converges faster at the cost of
+        higher sustained queues."""
+        default = incast16("hpcc")
+        high = incast16("hpcc-1gbps")
+        d_conv = default.convergence_ns or float("inf")
+        h_conv = high.convergence_ns or float("inf")
+        assert h_conv <= d_conv
+        assert high.queue.mean_bytes > default.queue.mean_bytes
+
+
+class TestSectionVIB1_IncastWithVaiSf:
+    """Sec. VI-B-1: VAI + SF on the 16-1 incast (Figs. 5, 6, 8, 9)."""
+
+    def test_hpcc_vai_sf_converges_much_faster(self, incast16):
+        default = incast16("hpcc")
+        ours = incast16("hpcc-vai-sf")
+        d_conv = default.convergence_ns or float("inf")
+        o_conv = ours.convergence_ns
+        assert o_conv is not None
+        assert o_conv < d_conv / 2
+
+    def test_hpcc_vai_sf_finish_times_cluster(self, incast16):
+        """Fig. 8: 'the finish time of the flows is much closer together.'"""
+        default = incast16("hpcc")
+        ours = incast16("hpcc-vai-sf")
+        assert ours.finish_spread_ns() < default.finish_spread_ns() / 2
+        assert ours.start_finish_correlation() > 0  # no more last-first trend
+
+    def test_swift_vai_sf_finish_times_cluster(self, incast16):
+        default = incast16("swift")
+        ours = incast16("swift-vai-sf")
+        assert ours.finish_spread_ns() < default.finish_spread_ns()
+
+    def test_hpcc_vai_sf_keeps_queues_near_default(self, incast16):
+        """Fig. 5(b): 'when using VAI and SF, HPCC still maintains near 0
+        queues' — mean queue stays well below the high-AI variant's level
+        and in the same regime as default."""
+        default = incast16("hpcc")
+        high = incast16("hpcc-1gbps")
+        ours = incast16("hpcc-vai-sf")
+        assert ours.queue.mean_bytes < high.queue.mean_bytes
+        assert ours.queue.mean_bytes < 3 * default.queue.mean_bytes
+
+    def test_swift_vai_sf_smallest_queues(self, incast16):
+        """Fig. 6(b): Swift VAI SF sustains smaller queues than the other
+        Swift variants because it does not use FBS."""
+        ours = incast16("swift-vai-sf")
+        for other in ("swift", "swift-1gbps", "swift-prob"):
+            assert ours.queue.mean_bytes <= incast16(other).queue.mean_bytes * 1.1
+
+    def test_all_flows_complete_under_every_variant(self, incast16):
+        for variant in (
+            "hpcc",
+            "hpcc-1gbps",
+            "hpcc-prob",
+            "hpcc-vai-sf",
+            "swift",
+            "swift-1gbps",
+            "swift-prob",
+            "swift-vai-sf",
+        ):
+            assert incast16(variant).all_completed, variant
+
+
+class TestLargerIncast:
+    """Sec. VI-B-1, Figs. 5(c,d)/6(c,d): trends continue at higher degree."""
+
+    @pytest.fixture(scope="class")
+    def incast32(self):
+        def run(variant):
+            return run_incast_cached(scaled_incast(variant, 32))
+
+        return run
+
+    def test_hpcc_vai_sf_fair_quickly_at_32(self, incast32):
+        default = incast32("hpcc")
+        ours = incast32("hpcc-vai-sf")
+        d = default.convergence_ns or float("inf")
+        o = ours.convergence_ns or float("inf")
+        assert o < d
+        assert ours.finish_spread_ns() < default.finish_spread_ns() / 2
+
+    def test_swift_vai_sf_fair_quickly_at_32(self, incast32):
+        default = incast32("swift")
+        ours = incast32("swift-vai-sf")
+        d = default.convergence_ns or float("inf")
+        o = ours.convergence_ns or float("inf")
+        assert o < d
+        assert ours.finish_spread_ns() < default.finish_spread_ns()
+
+    def test_throughput_not_sacrificed(self, incast32):
+        """Total completion time must not regress materially: VAI+SF trades
+        convergence, not goodput (Sec. VI: 'maintain high throughput')."""
+        for proto in ("hpcc", "swift"):
+            default = incast32(proto)
+            ours = incast32(f"{proto}-vai-sf")
+            d_end = max(f.finish_time for f in default.flows)
+            o_end = max(f.finish_time for f in ours.flows)
+            assert o_end < d_end * 1.1

@@ -1,0 +1,238 @@
+"""Tests for fairness, FCT, queue, and throughput metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    convergence_time_ns,
+    ideal_fct_ns,
+    jain_index,
+    jain_series,
+    queue_stats,
+    slowdown_by_size,
+    stats_after,
+    summarize,
+    tail_slowdown_above,
+)
+from repro.metrics.fct import FlowRecord
+from repro.sim import Flow, Network
+from repro.sim.packet import ACK_BYTES, HEADER_BYTES
+from repro.units import gbps, us
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        # Zero-rate flows are excluded (inactive), so the index over the
+        # positive rates alone is 1; include near-zero rates instead.
+        rates = np.array([100.0, 1e-9, 1e-9, 1e-9])
+        assert jain_index(rates) == pytest.approx(0.25, rel=1e-3)
+
+    def test_empty_is_one(self):
+        assert jain_index(np.array([])) == 1.0
+        assert jain_index(np.array([0.0, 0.0])) == 1.0
+
+    def test_scale_invariant(self):
+        r = np.array([1.0, 2.0, 3.0])
+        assert jain_index(r) == pytest.approx(jain_index(r * 1e9))
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e-3, max_value=1e9), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, rates):
+        r = np.array(rates)
+        idx = jain_index(r)
+        assert 1.0 / len(rates) - 1e-9 <= idx <= 1.0 + 1e-9
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        hog=st.floats(min_value=2.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_even_is_fairer(self, n, hog):
+        even = np.ones(n)
+        skew = np.ones(n)
+        skew[0] = hog
+        assert jain_index(even) >= jain_index(skew)
+
+
+class TestJainSeries:
+    def test_active_flows_only(self):
+        flows = [Flow(0, 0, 2, 100, start_time=0.0), Flow(1, 1, 2, 100, start_time=100.0)]
+        flows[0].finish_time = 50.0
+        times = np.array([25.0, 75.0, 150.0])
+        rates = np.array([[10.0, 0.0], [0.0, 0.0], [0.0, 10.0]])
+        t, j = jain_series(times, rates, flows)
+        # t=25: only flow 0 active (rate 10) -> 1.0
+        # t=75: none active -> 1.0; t=150: only flow 1 -> 1.0
+        assert np.allclose(j, 1.0)
+
+    def test_unfair_interval_detected(self):
+        flows = [Flow(0, 0, 2, 100, 0.0), Flow(1, 1, 2, 100, 0.0)]
+        times = np.array([10.0])
+        rates = np.array([[30.0, 10.0]])
+        _, j = jain_series(times, rates, flows)
+        assert j[0] == pytest.approx(jain_index(np.array([30.0, 10.0])))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            jain_series(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestConvergenceTime:
+    def test_simple_crossing(self):
+        t = np.arange(10) * 10.0
+        idx = np.array([0.2, 0.4, 0.6, 0.8, 0.96, 0.97, 0.98, 0.99, 0.99, 0.99])
+        assert convergence_time_ns(t, idx, sustain_samples=3) == 40.0
+
+    def test_requires_sustained(self):
+        t = np.arange(6) * 10.0
+        idx = np.array([0.99, 0.2, 0.99, 0.2, 0.99, 0.2])
+        assert convergence_time_ns(t, idx, sustain_samples=2) is None
+
+    def test_after_ns_filter(self):
+        t = np.arange(10) * 10.0
+        idx = np.ones(10)
+        assert convergence_time_ns(t, idx, after_ns=45.0, sustain_samples=2) == 50.0
+
+    def test_never_converges(self):
+        t = np.arange(5) * 10.0
+        idx = np.full(5, 0.5)
+        assert convergence_time_ns(t, idx) is None
+
+
+class TestIdealFct:
+    def _net(self):
+        net = Network()
+        h0, h1 = net.add_host(), net.add_host()
+        sw = net.add_switch()
+        net.connect(h0, sw, gbps(8), us(1))  # 1 byte/ns
+        net.connect(h1, sw, gbps(8), us(1))
+        net.build_routing()
+        return net, h0.node_id, h1.node_id
+
+    def test_one_packet_flow(self):
+        net, src, dst = self._net()
+        ideal = ideal_fct_ns(net, src, dst, 1000)
+        pkt = 1000 + HEADER_BYTES
+        expected = 2 * (pkt + 1000.0) + 2 * (ACK_BYTES + 1000.0)
+        assert ideal == pytest.approx(expected)
+
+    def test_multi_packet_adds_bottleneck_serialization(self):
+        net, src, dst = self._net()
+        one = ideal_fct_ns(net, src, dst, 1000)
+        three = ideal_fct_ns(net, src, dst, 3000)
+        assert three - one == pytest.approx(2 * (1000 + HEADER_BYTES))
+
+    def test_simulated_flow_achieves_ideal_on_empty_net(self):
+        """An uncontended greedy flow's FCT equals the ideal model exactly —
+        the slowdown denominator is calibrated to the simulator."""
+        from repro.cc.base import CCEnv, CongestionControl
+
+        class Greedy(CongestionControl):
+            def __init__(self, env):
+                super().__init__(env)
+                self.window_bytes = 1e12
+                self.pacing_rate_bps = None
+
+            def on_ack(self, ctx):
+                pass
+
+        net, src, dst = self._net()
+        env = CCEnv(line_rate_bps=gbps(8), base_rtt_ns=net.path_rtt_ns(src, dst))
+        flow = Flow(0, src, dst, 25_000, 0.0)
+        net.add_flow(flow, Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(10_000))
+        assert flow.fct == pytest.approx(ideal_fct_ns(net, src, dst, 25_000), rel=1e-9)
+
+    def test_invalid_size(self):
+        net, src, dst = self._net()
+        with pytest.raises(ValueError):
+            ideal_fct_ns(net, src, dst, 0)
+
+
+class TestSlowdownBuckets:
+    def _records(self):
+        # Sizes 1..100 KB, slowdown grows with size.
+        return [
+            FlowRecord(size_bytes=i * 1000, fct_ns=float(i * i), ideal_ns=float(i))
+            for i in range(1, 101)
+        ]
+
+    def test_equal_count_buckets(self):
+        buckets = slowdown_by_size(self._records(), percentile=50, n_buckets=10)
+        assert len(buckets) == 10
+        assert all(b.count == 10 for b in buckets)
+
+    def test_bucket_edges_increase(self):
+        buckets = slowdown_by_size(self._records(), percentile=99, n_buckets=5)
+        edges = [b.size_max_bytes for b in buckets]
+        assert edges == sorted(edges)
+        assert edges[-1] == 100_000.0
+
+    def test_percentile_semantics(self):
+        buckets = slowdown_by_size(self._records(), percentile=100, n_buckets=1)
+        assert buckets[0].slowdown == pytest.approx(100.0)  # max slowdown
+
+    def test_empty(self):
+        assert slowdown_by_size([], percentile=99) == []
+
+    def test_more_buckets_than_records(self):
+        recs = self._records()[:3]
+        buckets = slowdown_by_size(recs, percentile=50, n_buckets=10)
+        assert len(buckets) == 3
+
+    def test_tail_slowdown_above(self):
+        recs = self._records()
+        tail = tail_slowdown_above(recs, 50_000, percentile=100)
+        assert tail == pytest.approx(100.0)
+        assert tail_slowdown_above(recs, 1e9) is None
+
+    def test_summarize(self):
+        s = summarize(self._records())
+        assert s["count"] == 100
+        assert s["p50_slowdown"] <= s["p99_slowdown"] <= s["max_slowdown"]
+        assert summarize([]) == {"count": 0}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            slowdown_by_size(self._records(), percentile=0)
+        with pytest.raises(ValueError):
+            slowdown_by_size(self._records(), n_buckets=0)
+
+
+class TestQueueStats:
+    def test_constant_series(self):
+        t = np.arange(10.0)
+        q = np.full(10, 500.0)
+        s = queue_stats(t, q)
+        assert s.max_bytes == 500.0
+        assert s.mean_bytes == 500.0
+        assert s.oscillation_bytes == 0.0
+        assert s.mean_abs_delta_bytes == 0.0
+
+    def test_oscillating_series_has_larger_oscillation(self):
+        t = np.arange(100.0)
+        steady = np.full(100, 100.0)
+        sawtooth = 100.0 + 50.0 * np.sign(np.sin(np.arange(100.0)))
+        assert (
+            queue_stats(t, sawtooth).oscillation_bytes
+            > queue_stats(t, steady).oscillation_bytes
+        )
+
+    def test_empty(self):
+        s = queue_stats(np.array([]), np.array([]))
+        assert s.max_bytes == 0.0
+
+    def test_stats_after(self):
+        t = np.arange(10.0)
+        q = np.concatenate([np.full(5, 1000.0), np.zeros(5)])
+        s = stats_after(t, q, after_ns=5.0)
+        assert s.max_bytes == 0.0

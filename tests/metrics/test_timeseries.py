@@ -1,0 +1,135 @@
+"""Tests for the time-series utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ecdf,
+    first_crossing,
+    moving_average,
+    normalize_to_reference,
+    resample,
+    time_above,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self):
+        v = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(moving_average(v, 1), v)
+
+    def test_constant_series_unchanged(self):
+        v = np.full(10, 7.0)
+        assert np.allclose(moving_average(v, 4), 7.0)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=200)
+        assert moving_average(v, 9).std() < v.std()
+
+    def test_same_length_and_no_edge_zeros(self):
+        v = np.ones(5)
+        out = moving_average(v, 3)
+        assert out.shape == v.shape
+        assert np.allclose(out, 1.0)  # edge shrinkage, not zero padding
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(3), 0)
+
+    @given(
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60),
+        window=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_within_input_range(self, values, window):
+        v = np.array(values)
+        out = moving_average(v, window)
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+
+class TestResample:
+    def test_previous_value_hold(self):
+        t = np.array([0.0, 10.0, 20.0])
+        v = np.array([1.0, 2.0, 3.0])
+        grid = np.array([-5.0, 0.0, 5.0, 10.0, 15.0, 25.0])
+        out = resample(t, v, grid)
+        assert np.array_equal(out, [1.0, 1.0, 1.0, 2.0, 2.0, 3.0])
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            resample(np.array([]), np.array([]), np.array([1.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            resample(np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestEcdf:
+    def test_simple(self):
+        x, p = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert np.array_equal(x, [1.0, 2.0, 3.0])
+        assert np.allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, p = ecdf(np.array([]))
+        assert x.size == 0 and p.size == 0
+
+    @given(values=st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_ends_at_one(self, values):
+        x, p = ecdf(np.array(values))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) >= 0)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestTimeAbove:
+    def test_half_above(self):
+        t = np.array([0.0, 10.0, 20.0, 30.0])
+        v = np.array([5.0, 0.0, 5.0, 0.0])
+        # Above threshold 1 during [0,10) and [20,30).
+        assert time_above(t, v, 1.0) == pytest.approx(20.0)
+
+    def test_never_above(self):
+        t = np.arange(5.0)
+        assert time_above(t, np.zeros(5), 1.0) == 0.0
+
+    def test_single_sample(self):
+        assert time_above(np.array([0.0]), np.array([10.0]), 1.0) == 0.0
+
+
+class TestFirstCrossing:
+    def test_up(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        v = np.array([0.0, 0.5, 1.5, 2.0])
+        assert first_crossing(t, v, 1.0) == 2.0
+
+    def test_down(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([5.0, 3.0, 0.5])
+        assert first_crossing(t, v, 1.0, direction="down") == 2.0
+
+    def test_never(self):
+        t = np.arange(3.0)
+        assert first_crossing(t, np.zeros(3), 1.0) is None
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            first_crossing(np.array([0.0]), np.array([0.0]), 1.0, direction="sideways")
+
+    def test_empty(self):
+        assert first_crossing(np.array([]), np.array([]), 1.0) is None
+
+
+class TestNormalize:
+    def test_ratio(self):
+        out = normalize_to_reference(np.array([2.0, 9.0]), np.array([1.0, 3.0]))
+        assert np.allclose(out, [2.0, 3.0])
+
+    def test_zero_reference_gives_nan(self):
+        out = normalize_to_reference(np.array([1.0]), np.array([0.0]))
+        assert np.isnan(out[0])

@@ -1,0 +1,135 @@
+"""Edge-case tests for host sender/receiver machinery."""
+
+import pytest
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.sim import Flow, Network
+from repro.units import gbps, us
+
+
+class StepWindowCC(CongestionControl):
+    """Window grows by a fixed step per ACK (drives re-arm logic)."""
+
+    def __init__(self, env, initial=1000.0, step=500.0):
+        super().__init__(env)
+        self.window_bytes = initial
+        self.pacing_rate_bps = None
+        self.step = step
+
+    def on_ack(self, ctx):
+        self.window_bytes += self.step
+
+
+class SlowPacerCC(CongestionControl):
+    """Heavily paced: exercises the pacing timer path."""
+
+    def __init__(self, env):
+        super().__init__(env)
+        self.window_bytes = 1e12
+        self.pacing_rate_bps = env.line_rate_bps / 10.0
+
+    def on_ack(self, ctx):
+        pass
+
+
+def build(n_hosts=2):
+    net = Network()
+    hosts = [net.add_host() for _ in range(n_hosts)]
+    sw = net.add_switch()
+    for h in hosts:
+        net.connect(h, sw, gbps(8), us(1))
+    net.build_routing()
+    return net, hosts
+
+
+def env_for(net, src, dst):
+    return CCEnv(
+        line_rate_bps=gbps(8),
+        base_rtt_ns=net.path_rtt_ns(src, dst),
+        hops=net.hop_count(src, dst),
+    )
+
+
+class TestSenderEdgeCases:
+    def test_window_smaller_than_mtu_still_progresses(self):
+        """A sub-MTU window must not deadlock: one packet may be in flight."""
+        net, (h0, h1) = build()
+        flow = Flow(0, h0.node_id, h1.node_id, 10_000, 0.0)
+        cc = StepWindowCC(env_for(net, h0.node_id, h1.node_id), initial=10.0, step=0.0)
+        net.add_flow(flow, cc)
+        assert net.run_until_flows_complete(timeout_ns=us(10_000))
+
+    def test_growing_window_reopens_sending(self):
+        net, (h0, h1) = build()
+        flow = Flow(0, h0.node_id, h1.node_id, 50_000, 0.0)
+        cc = StepWindowCC(env_for(net, h0.node_id, h1.node_id), initial=1000.0, step=2000.0)
+        net.add_flow(flow, cc)
+        assert net.run_until_flows_complete(timeout_ns=us(10_000))
+
+    def test_paced_flow_respects_rate(self):
+        net, (h0, h1) = build()
+        flow = Flow(0, h0.node_id, h1.node_id, 20_000, 0.0)
+        net.add_flow(flow, SlowPacerCC(env_for(net, h0.node_id, h1.node_id)))
+        net.run_until_flows_complete(timeout_ns=us(50_000))
+        # 20 packets at 1/10th of 1 B/ns: >= 19 * 10480 ns of pacing alone.
+        assert flow.fct >= 19 * 10_480
+
+    def test_many_concurrent_flows_same_host_pair(self):
+        net, (h0, h1) = build()
+        flows = []
+        for i in range(10):
+            f = Flow(i, h0.node_id, h1.node_id, 20_000, i * us(2))
+            net.add_flow(f, SlowPacerCC(env_for(net, h0.node_id, h1.node_id)))
+            flows.append(f)
+        assert net.run_until_flows_complete(timeout_ns=us(100_000))
+        receiver = net.nodes[h1.node_id]
+        assert all(receiver.receivers[f.flow_id].received == f.size for f in flows)
+
+    def test_opposite_direction_flows_share_host(self):
+        """A host can send and receive simultaneously on one NIC."""
+        net, (h0, h1) = build()
+        f01 = Flow(0, h0.node_id, h1.node_id, 100_000, 0.0)
+        f10 = Flow(1, h1.node_id, h0.node_id, 100_000, 0.0)
+        net.add_flow(f01, SlowPacerCC(env_for(net, h0.node_id, h1.node_id)))
+        net.add_flow(f10, SlowPacerCC(env_for(net, h1.node_id, h0.node_id)))
+        assert net.run_until_flows_complete(timeout_ns=us(200_000))
+
+    def test_duplicate_sender_flow_rejected(self):
+        net, (h0, h1) = build()
+        env = env_for(net, h0.node_id, h1.node_id)
+        h0.add_sender_flow(Flow(7, h0.node_id, h1.node_id, 1000, 0.0), StepWindowCC(env))
+        with pytest.raises(ValueError):
+            h0.add_sender_flow(
+                Flow(7, h0.node_id, h1.node_id, 1000, 0.0), StepWindowCC(env)
+            )
+
+    def test_host_without_nic_raises(self):
+        net = Network()
+        h = net.add_host()
+        with pytest.raises(RuntimeError):
+            _ = h.nic
+
+
+class TestThreeWayContention:
+    def test_fcts_reflect_sharing(self):
+        """Three simultaneous greedy flows to one receiver take ~3x the solo
+        time — the bottleneck is shared exactly."""
+        def run(n):
+            net, hosts = build(n + 1)
+            dst = hosts[-1].node_id
+            flows = []
+            for i in range(n):
+                f = Flow(i, hosts[i].node_id, dst, 100_000, 0.0)
+                net.add_flow(
+                    f,
+                    StepWindowCC(
+                        env_for(net, hosts[i].node_id, dst), initial=1e12, step=0.0
+                    ),
+                )
+                flows.append(f)
+            net.run_until_flows_complete(timeout_ns=us(100_000))
+            return max(f.fct for f in flows)
+
+        solo = run(1)
+        trio = run(3)
+        assert trio == pytest.approx(3 * solo, rel=0.15)

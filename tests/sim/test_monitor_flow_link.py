@@ -1,0 +1,132 @@
+"""Tests for monitors, LinkSpec, and Flow bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.sim import Flow, GoodputMonitor, LinkSpec, Network, QueueMonitor
+from repro.units import gbps, us
+
+
+class NullCC(CongestionControl):
+    def __init__(self, env):
+        super().__init__(env)
+        self.window_bytes = 1e12
+        self.pacing_rate_bps = None
+
+    def on_ack(self, ctx):
+        pass
+
+
+class TestLinkSpec:
+    def test_serialization_time(self):
+        spec = LinkSpec(rate_bps=8e9, prop_delay_ns=500.0)  # 1 byte/ns
+        assert spec.serialization_ns(1000) == pytest.approx(1000.0)
+
+    def test_one_way(self):
+        spec = LinkSpec(8e9, 500.0)
+        assert spec.one_way_ns(1000) == pytest.approx(1500.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LinkSpec(0.0, 1.0)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            LinkSpec(1e9, -1.0)
+
+
+class TestFlow:
+    def test_fct_none_until_complete(self):
+        f = Flow(0, 1, 2, 100, 50.0)
+        assert f.fct is None and not f.completed
+        f.finish_time = 150.0
+        assert f.fct == 100.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, 2, 0, 0.0)
+
+    def test_src_equals_dst_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, 1, 100, 0.0)
+
+    def test_default_ecmp_hash_spreads(self):
+        hashes = {Flow(i, 0, 1, 100, 0.0).ecmp_hash % 4 for i in range(64)}
+        assert len(hashes) == 4  # consecutive ids cover all ECMP buckets
+
+
+def build_loaded_net():
+    net = Network()
+    h0, h1 = net.add_host(), net.add_host()
+    sw = net.add_switch()
+    net.connect(h0, sw, gbps(8), us(1))
+    net.connect(h1, sw, gbps(8), us(1))
+    net.build_routing()
+    env = CCEnv(line_rate_bps=gbps(8), base_rtt_ns=net.path_rtt_ns(h0.node_id, h1.node_id))
+    flow = Flow(0, h0.node_id, h1.node_id, 100_000, 0.0)
+    net.add_flow(flow, NullCC(env))
+    return net, flow
+
+
+class TestQueueMonitor:
+    def test_samples_at_interval(self):
+        net, _ = build_loaded_net()
+        ports = [net.switches[0].ports[1]]
+        mon = QueueMonitor(net.sim, ports, interval_ns=us(1)).start()
+        net.run(until=us(10))
+        t, v = mon.series()
+        assert len(t) == 11  # t = 0..10 us inclusive
+        assert np.allclose(np.diff(t), us(1))
+
+    def test_stop_halts_sampling(self):
+        net, _ = build_loaded_net()
+        mon = QueueMonitor(net.sim, net.switches[0].ports, us(1)).start()
+        net.run(until=us(3))
+        mon.stop()
+        net.run(until=us(10))
+        assert len(mon.times) <= 5
+
+    def test_aggregate_max_vs_sum(self):
+        net, _ = build_loaded_net()
+        ports = net.switches[0].ports
+        msum = QueueMonitor(net.sim, ports, us(1), aggregate="sum").start()
+        mmax = QueueMonitor(net.sim, ports, us(1), aggregate="max").start()
+        net.run(until=us(50))
+        assert msum.max_depth() >= mmax.max_depth()
+
+    def test_invalid_interval(self):
+        net, _ = build_loaded_net()
+        with pytest.raises(ValueError):
+            QueueMonitor(net.sim, [], 0.0)
+
+    def test_invalid_aggregate(self):
+        net, _ = build_loaded_net()
+        with pytest.raises(ValueError):
+            QueueMonitor(net.sim, [], us(1), aggregate="median")
+
+
+class TestGoodputMonitor:
+    def test_rates_sum_to_flow_size(self):
+        net, flow = build_loaded_net()
+        mon = GoodputMonitor(net.sim, [flow], net.nodes, us(2)).start()
+        net.run_until_flows_complete(timeout_ns=us(5000))
+        t, rates = mon.rates_bps()
+        # Integrate rate over time: total delivered bytes == flow size.
+        delivered = float((rates[:, 0] / 8.0 * np.diff(mon.times)).sum() / 1e9 * 1e9)
+        dt = np.diff(np.asarray(mon.times))
+        delivered = float((rates[:, 0] / 8.0 * dt / 1e9).sum()) * 1.0
+        assert delivered == pytest.approx(flow.size, rel=0.02)
+
+    def test_rate_bounded_by_line_rate(self):
+        net, flow = build_loaded_net()
+        mon = GoodputMonitor(net.sim, [flow], net.nodes, us(5)).start()
+        net.run_until_flows_complete(timeout_ns=us(5000))
+        _, rates = mon.rates_bps()
+        assert rates.max() <= gbps(8) * 1.05  # small bin-edge tolerance
+
+    def test_empty_series(self):
+        net, flow = build_loaded_net()
+        mon = GoodputMonitor(net.sim, [flow], net.nodes, us(5))
+        t, rates = mon.rates_bps()
+        assert t.size == 0 and rates.shape == (0, 1)

@@ -1,0 +1,86 @@
+"""Tests for PFC watermarks and pause state."""
+
+import pytest
+
+from repro.sim.pfc import PfcConfig, PfcEgressState, PfcIngress
+
+
+class TestPfcConfig:
+    def test_valid(self):
+        cfg = PfcConfig(xoff=1000.0, xon=500.0)
+        assert cfg.xoff == 1000.0
+
+    def test_xon_must_be_below_xoff(self):
+        with pytest.raises(ValueError):
+            PfcConfig(xoff=100.0, xon=100.0)
+
+    def test_xoff_positive(self):
+        with pytest.raises(ValueError):
+            PfcConfig(xoff=0.0, xon=-1.0)
+
+
+class TestPfcIngress:
+    def test_pause_at_xoff(self):
+        ing = PfcIngress(PfcConfig(xoff=1000.0, xon=400.0))
+        assert ing.on_enqueue(500) is False
+        assert ing.on_enqueue(500) is True  # crosses 1000
+        assert ing.paused_upstream
+
+    def test_pause_sent_once(self):
+        ing = PfcIngress(PfcConfig(xoff=1000.0, xon=400.0))
+        ing.on_enqueue(1000)
+        assert ing.on_enqueue(1000) is False  # already paused
+
+    def test_resume_at_xon(self):
+        ing = PfcIngress(PfcConfig(xoff=1000.0, xon=400.0))
+        ing.on_enqueue(1200)
+        assert ing.on_release(500) is False  # 700 > xon
+        assert ing.on_release(400) is True  # 300 <= xon
+        assert not ing.paused_upstream
+
+    def test_no_config_never_pauses(self):
+        ing = PfcIngress(None)
+        assert ing.on_enqueue(10**9) is False
+        assert ing.on_release(10**9) is False
+
+    def test_occupancy_clamped_at_zero(self):
+        ing = PfcIngress(PfcConfig(xoff=1000.0, xon=400.0))
+        ing.on_release(500)
+        assert ing.occupancy == 0.0
+
+    def test_hysteresis_cycle(self):
+        """Pause / resume alternate across repeated fill-drain cycles."""
+        ing = PfcIngress(PfcConfig(xoff=1000.0, xon=200.0))
+        events = []
+        for _ in range(3):
+            if ing.on_enqueue(1100):
+                events.append("pause")
+            if ing.on_release(1100):
+                events.append("resume")
+        assert events == ["pause", "resume"] * 3
+
+
+class TestPfcEgressState:
+    def test_pause_and_expiry(self):
+        eg = PfcEgressState()
+        eg.pause(now=100.0, duration_ns=50.0)
+        assert eg.is_paused(120.0)
+        assert not eg.is_paused(150.0)
+
+    def test_pause_extends_not_shrinks(self):
+        eg = PfcEgressState()
+        eg.pause(0.0, 100.0)
+        eg.pause(10.0, 20.0)  # would end earlier; keep the later deadline
+        assert eg.paused_until == 100.0
+
+    def test_resume_clears(self):
+        eg = PfcEgressState()
+        eg.pause(0.0, 1e9)
+        eg.resume()
+        assert not eg.is_paused(1.0)
+
+    def test_remaining(self):
+        eg = PfcEgressState()
+        eg.pause(100.0, 50.0)
+        assert eg.remaining(120.0) == pytest.approx(30.0)
+        assert eg.remaining(200.0) == 0.0

@@ -1,0 +1,223 @@
+"""Tests for the egress port: queueing, serialization, RED, INT, PFC pause."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import LinkSpec
+from repro.sim.node import Node
+from repro.sim.packet import HEADER_BYTES, Packet
+from repro.sim.pfc import PfcConfig
+from repro.sim.port import Port, RedConfig
+
+
+class Sink(Node):
+    """Records arriving packets with timestamps."""
+
+    def __init__(self, sim, node_id=99, name="sink"):
+        super().__init__(sim, node_id, name)
+        self.received = []
+
+    def receive(self, pkt, in_port):
+        self.received.append((self.sim.now(), pkt))
+
+
+def make_port(sim, rate_bps=8e9, prop=100.0, **kwargs):
+    """A port on a dummy owner wired to a Sink.  8 Gb/s = 1 byte/ns."""
+    owner = Sink(sim, 1, "owner")
+    port = Port(sim, owner, LinkSpec(rate_bps, prop), index=0, **kwargs)
+    sink = Sink(sim)
+    port.peer_node = sink
+    port.peer_port = None
+    owner.ports.append(port)
+    return port, sink
+
+
+def data_pkt(seq=0, payload=1000, flow=1):
+    return Packet.data(flow, 1, 99, seq, payload, send_ts=0.0)
+
+
+class TestTransmission:
+    def test_single_packet_timing(self):
+        sim = Simulator()
+        port, sink = make_port(sim)  # 1 byte/ns, 100 ns prop
+        pkt = data_pkt()
+        port.enqueue(pkt)
+        sim.run()
+        # serialization = (1000+48) bytes at 1 B/ns, then 100 ns propagation
+        assert sink.received[0][0] == pytest.approx(1048 + 100)
+
+    def test_fifo_order_and_back_to_back(self):
+        sim = Simulator()
+        port, sink = make_port(sim)
+        for i in range(3):
+            port.enqueue(data_pkt(seq=i * 1000))
+        sim.run()
+        times = [t for t, _ in sink.received]
+        seqs = [p.seq for _, p in sink.received]
+        assert seqs == [0, 1000, 2000]
+        # Spaced exactly one serialization time apart.
+        assert times[1] - times[0] == pytest.approx(1048)
+        assert times[2] - times[1] == pytest.approx(1048)
+
+    def test_tx_bytes_accumulates(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        port.enqueue(data_pkt())
+        port.enqueue(data_pkt(seq=1000))
+        sim.run()
+        assert port.tx_bytes == 2 * 1048
+
+    def test_queue_bytes_tracks_occupancy(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        port.enqueue(data_pkt())
+        port.enqueue(data_pkt(seq=1000))
+        # First packet started serializing immediately; second still queued.
+        assert port.queue_bytes == 1048
+        sim.run()
+        assert port.queue_bytes == 0
+
+    def test_max_qlen_seen(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        for i in range(5):
+            port.enqueue(data_pkt(seq=i * 1000))
+        assert port.max_qlen_seen == 4 * 1048  # head leaves queue when tx starts
+        sim.run()
+        port.reset_counters()
+        assert port.max_qlen_seen == 0
+
+
+class TestBufferLimit:
+    def test_tail_drop_beyond_limit(self):
+        sim = Simulator()
+        port, sink = make_port(sim, max_queue_bytes=2100.0)  # fits two packets
+        ok = [port.enqueue(data_pkt(seq=i * 1000)) for i in range(4)]
+        sim.run()
+        # First starts transmitting (leaves queue), next two fit, fourth drops.
+        assert ok == [True, True, True, False]
+        assert port.drops == 1
+        assert len(sink.received) == 3
+
+    def test_control_frames_never_dropped(self):
+        sim = Simulator()
+        port, sink = make_port(sim, max_queue_bytes=64.0)
+        # The buffer cannot fit even one pause frame plus backlog, yet
+        # control frames bypass the limit entirely.
+        for _ in range(5):
+            assert port.enqueue(Packet.pause(1, 99, 100.0)) is True
+        assert port.drops == 0
+
+
+class TestRedMarking:
+    def test_no_marking_below_kmin(self):
+        sim = Simulator()
+        red = RedConfig(kmin_bytes=5000, kmax_bytes=10000, pmax=1.0)
+        port, sink = make_port(sim, red=red, rng=random.Random(1))
+        for i in range(3):
+            port.enqueue(data_pkt(seq=i * 1000))
+        sim.run()
+        assert not any(p.ece for _, p in sink.received)
+
+    def test_always_marks_above_kmax(self):
+        sim = Simulator()
+        red = RedConfig(kmin_bytes=100, kmax_bytes=1000, pmax=0.5)
+        port, sink = make_port(sim, red=red, rng=random.Random(1))
+        for i in range(5):
+            port.enqueue(data_pkt(seq=i * 1000))
+        sim.run()
+        # Packets enqueued when queue > kmax must be marked.
+        marked = [p.ece for _, p in sink.received]
+        assert marked[2:] == [True, True, True]
+
+    def test_mark_probability_linear(self):
+        red = RedConfig(kmin_bytes=100, kmax_bytes=300, pmax=0.5)
+        assert red.mark_probability(100) == 0.0
+        assert red.mark_probability(200) == pytest.approx(0.25)
+        assert red.mark_probability(300) == 1.0
+        assert red.mark_probability(1000) == 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RedConfig(kmin_bytes=300, kmax_bytes=100, pmax=0.5)
+        with pytest.raises(ValueError):
+            RedConfig(kmin_bytes=0, kmax_bytes=100, pmax=1.5)
+
+    def test_statistical_marking_rate(self):
+        """At fixed queue depth the empirical mark rate matches RED's formula."""
+        red = RedConfig(kmin_bytes=0, kmax_bytes=10_000, pmax=1.0)
+        rng = random.Random(7)
+        marks = 0
+        trials = 4000
+        qlen = 2500.0  # -> probability 0.25
+        for _ in range(trials):
+            if rng.random() < red.mark_probability(qlen):
+                marks += 1
+        assert marks / trials == pytest.approx(0.25, abs=0.03)
+
+
+class TestIntStamping:
+    def test_stamping_appends_record(self):
+        sim = Simulator()
+        port, sink = make_port(sim, stamp_int=True)
+        # The first packet starts serializing immediately (stamped with an
+        # empty queue); the second dequeues while the third still waits.
+        port.enqueue(data_pkt())
+        port.enqueue(data_pkt(seq=1000))
+        port.enqueue(data_pkt(seq=2000))
+        sim.run()
+        first = sink.received[0][1]
+        second = sink.received[1][1]
+        third = sink.received[2][1]
+        assert len(first.int_records) == 1
+        rec1, rec2, rec3 = (
+            first.int_records[0],
+            second.int_records[0],
+            third.int_records[0],
+        )
+        assert rec1.qlen == 0.0
+        assert rec2.qlen == 1048.0  # third packet was waiting behind it
+        assert rec3.qlen == 0.0
+        assert rec3.tx_bytes == 3 * 1048  # cumulative including itself
+        assert rec2.ts > rec1.ts
+        assert first.hops == 1
+
+    def test_no_stamping_when_disabled(self):
+        sim = Simulator()
+        port, sink = make_port(sim, stamp_int=False)
+        port.enqueue(data_pkt())
+        sim.run()
+        assert sink.received[0][1].int_records == []
+
+
+class TestPfcPause:
+    def test_pause_halts_draining(self):
+        sim = Simulator()
+        port, sink = make_port(sim)
+        port.apply_pause(Packet.pause(2, 1, duration_ns=5000.0))
+        port.enqueue(data_pkt())
+        sim.run(until=4000.0)
+        assert sink.received == []
+        sim.run()
+        # Wakes at 5000, serialization 1048, prop 100.
+        assert sink.received[0][0] == pytest.approx(5000 + 1048 + 100)
+
+    def test_resume_restarts_immediately(self):
+        sim = Simulator()
+        port, sink = make_port(sim)
+        port.apply_pause(Packet.pause(2, 1, duration_ns=1e9))
+        port.enqueue(data_pkt())
+        sim.schedule(2000.0, port.apply_pause, Packet.pause(2, 1, duration_ns=0.0))
+        sim.run()
+        assert sink.received[0][0] == pytest.approx(2000 + 1048 + 100)
+
+    def test_pause_does_not_abort_inflight_packet(self):
+        sim = Simulator()
+        port, sink = make_port(sim)
+        port.enqueue(data_pkt())  # starts serializing at t=0
+        sim.schedule(10.0, port.apply_pause, Packet.pause(2, 1, duration_ns=1e6))
+        port.enqueue(data_pkt(seq=1000))
+        sim.run(until=500_000.0)
+        assert len(sink.received) == 1  # first finished, second held

@@ -1,0 +1,105 @@
+"""Tests for the tracing collectors."""
+
+import pytest
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.sim import Flow, FlowTracer, Network, PortCounterSampler
+from repro.units import gbps, us
+
+
+class Greedy(CongestionControl):
+    def __init__(self, env):
+        super().__init__(env)
+        self.window_bytes = 1e12
+        self.pacing_rate_bps = None
+
+    def on_ack(self, ctx):
+        pass
+
+
+def build():
+    net = Network()
+    h0, h1 = net.add_host(), net.add_host()
+    sw = net.add_switch()
+    net.connect(h0, sw, gbps(8), us(1))
+    net.connect(h1, sw, gbps(8), us(1))
+    net.build_routing()
+    env = CCEnv(line_rate_bps=gbps(8), base_rtt_ns=net.path_rtt_ns(h0.node_id, h1.node_id))
+    return net, h0, h1, env
+
+
+class TestFlowTracer:
+    def test_records_completions(self):
+        net, h0, h1, env = build()
+        tracer = FlowTracer(net.sim, [h0, h1]).start()
+        flows = [
+            Flow(0, h0.node_id, h1.node_id, 10_000, 0.0),
+            Flow(1, h1.node_id, h0.node_id, 5_000, us(5)),
+        ]
+        for f in flows:
+            net.add_flow(f, Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(1000))
+        assert {f.flow_id for f in tracer.completed} == {0, 1}
+
+    def test_completion_rows_and_csv(self):
+        net, h0, h1, env = build()
+        tracer = FlowTracer(net.sim, [h0, h1]).start()
+        net.add_flow(Flow(0, h0.node_id, h1.node_id, 3_000, 0.0), Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(1000))
+        rows = tracer.completion_rows()
+        assert rows[0]["size_bytes"] == 3_000
+        assert rows[0]["fct_ns"] > 0
+        csv_text = tracer.to_csv()
+        assert csv_text.splitlines()[0].startswith("flow_id,")
+        assert len(csv_text.splitlines()) == 2
+
+    def test_snapshots_capture_running_flows_only(self):
+        net, h0, h1, env = build()
+        tracer = FlowTracer(net.sim, [h0, h1], snapshot_interval_ns=us(2)).start()
+        net.add_flow(Flow(0, h0.node_id, h1.node_id, 50_000, 0.0), Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(5000))
+        snaps = tracer.snapshots_for(0)
+        assert snaps
+        assert all(s.window_bytes == 1e12 for s in snaps)
+        assert all(s.inflight_bytes >= 0 for s in snaps)
+        # No snapshots after completion:
+        finish = tracer.completed[0].finish_time
+        assert all(s.time_ns <= finish for s in snaps)
+
+    def test_stop(self):
+        net, h0, h1, env = build()
+        tracer = FlowTracer(net.sim, [h0], snapshot_interval_ns=us(1)).start()
+        net.run(until=us(3))
+        tracer.stop()
+        net.run(until=us(10))
+        assert len(tracer.snapshots) == 0  # no flows were running anyway
+
+
+class TestPortCounterSampler:
+    def test_utilization_series(self):
+        net, h0, h1, env = build()
+        port = h0.nic
+        sampler = PortCounterSampler(net.sim, [port], interval_ns=us(5)).start()
+        net.add_flow(Flow(0, h0.node_id, h1.node_id, 100_000, 0.0), Greedy(env))
+        net.run_until_flows_complete(timeout_ns=us(5000))
+        series = sampler.utilization_series(0)
+        assert series
+        # While the flow streams, the NIC runs at (near) line rate.
+        assert sampler.peak_utilization(0) > 0.9
+        # tx counters advance in whole packets at serialization *end*, so an
+        # interval can absorb a packet that mostly serialized in the previous
+        # one: allow one packet (1048 B) of slack per 5 us interval.
+        slack = 1048.0 / (8e9 / 8.0 * us(5) / 1e9)
+        assert all(0.0 <= u <= 1.0 + slack for _, u in series)
+
+    def test_idle_port_zero_utilization(self):
+        net, h0, h1, env = build()
+        sampler = PortCounterSampler(net.sim, [h1.nic], interval_ns=us(5)).start()
+        net.run(until=us(50))
+        # Only ACK-free idle traffic: utilization ~0.
+        assert sampler.peak_utilization(0) == pytest.approx(0.0)
+
+    def test_invalid_interval(self):
+        net, *_ = build()
+        with pytest.raises(ValueError):
+            PortCounterSampler(net.sim, [], 0.0)

@@ -1,0 +1,78 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTime:
+    def test_us(self):
+        assert units.us(5) == 5_000.0
+
+    def test_ms(self):
+        assert units.ms(2) == 2_000_000.0
+
+    def test_seconds(self):
+        assert units.seconds(1) == 1e9
+
+    def test_roundtrip(self):
+        assert units.ns_to_us(units.us(7.5)) == pytest.approx(7.5)
+        assert units.ns_to_ms(units.ms(3.2)) == pytest.approx(3.2)
+
+
+class TestData:
+    def test_kb_mb(self):
+        assert units.kb(50) == 50_000
+        assert units.mb(1) == 1_000_000
+
+
+class TestRates:
+    def test_gbps(self):
+        assert units.gbps(100) == 100e9
+
+    def test_serialization_time(self):
+        # 1000 bytes at 100 Gbps = 80 ns.
+        assert units.serialization_time_ns(1000, units.gbps(100)) == pytest.approx(80.0)
+
+    def test_serialization_zero_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.serialization_time_ns(1000, 0.0)
+
+    def test_bdp(self):
+        # 100 Gbps x 4 us = 50 KB: the paper's min-BDP figure.
+        assert units.bdp_bytes(units.gbps(100), units.us(4)) == pytest.approx(50_000.0)
+
+    def test_rate_conversion_roundtrip(self):
+        rate = units.gbps(42.5)
+        assert units.bytes_per_ns_to_bps(
+            units.rate_bps_to_bytes_per_ns(rate)
+        ) == pytest.approx(rate)
+
+    @given(size=st.integers(min_value=1, max_value=10**9),
+           rate=st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_positive_and_linear(self, size, rate):
+        t = units.serialization_time_ns(size, rate)
+        assert t > 0
+        assert units.serialization_time_ns(2 * size, rate) == pytest.approx(2 * t)
+
+
+class TestFormatting:
+    def test_format_rate(self):
+        assert units.format_rate(units.gbps(100)) == "100 Gbps"
+        assert units.format_rate(units.mbps(50)) == "50 Mbps"
+        assert "Kbps" in units.format_rate(5_000)
+        assert "bps" in units.format_rate(10)
+
+    def test_format_bytes(self):
+        assert units.format_bytes(units.mb(1)) == "1 MB"
+        assert units.format_bytes(2_000_000_000) == "2 GB"
+        assert units.format_bytes(500) == "500 B"
+
+    def test_format_time(self):
+        assert units.format_time_ns(units.us(5)) == "5 us"
+        assert units.format_time_ns(units.ms(3)) == "3 ms"
+        assert units.format_time_ns(2e9) == "2 s"
+        assert units.format_time_ns(12.0) == "12 ns"

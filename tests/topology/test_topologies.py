@@ -1,0 +1,136 @@
+"""Tests for the star and fat-tree topology builders (Fig. 7 validation)."""
+
+import pytest
+
+from repro.topology import FatTreeParams, build_fattree, build_star, scaled_fattree_params
+from repro.units import gbps, us
+
+
+class TestStar:
+    def test_paper_shape(self):
+        topo = build_star(16)
+        assert len(topo.hosts) == 17
+        assert len(topo.switches) == 1
+        assert len(topo.switches[0].ports) == 17
+
+    def test_bottleneck_is_receiver_port(self):
+        topo = build_star(4)
+        receiver = topo.hosts[-1]
+        assert topo.bottleneck_ports == [
+            topo.switches[0].port_to[receiver.node_id]
+        ]
+
+    def test_hop_count_two(self):
+        topo = build_star(4)
+        net = topo.network
+        assert net.hop_count(topo.hosts[0].node_id, topo.hosts[-1].node_id) == 2
+
+    def test_rtt_matches_paper_scale(self):
+        """100 Gbps links, 1 us propagation: base RTT just over 4 us."""
+        topo = build_star(16)
+        net = topo.network
+        rtt = net.path_rtt_ns(topo.hosts[0].node_id, topo.hosts[-1].node_id)
+        assert us(4) < rtt < us(5)
+
+    def test_min_bdp_about_50kb(self):
+        """The paper's Token_Thresh: 'the minimum BDP of the network, which
+        is about 50 KB' — our star's BDP should be in that ballpark."""
+        topo = build_star(16)
+        net = topo.network
+        bdp = net.min_bdp_bytes(topo.hosts[0].node_id, topo.hosts[-1].node_id)
+        assert 40_000 < bdp < 70_000
+
+    def test_invalid_sender_count(self):
+        with pytest.raises(ValueError):
+            build_star(0)
+
+
+class TestFatTreeStructure:
+    """Fig. 7: 320 hosts, 5 pods x (4 ToR + 4 Agg), 16 spines."""
+
+    @pytest.fixture(scope="class")
+    def paper_topo(self):
+        return build_fattree(FatTreeParams())
+
+    def test_counts(self, paper_topo):
+        p = FatTreeParams()
+        assert len(paper_topo.hosts) == 320
+        assert p.n_tors == 20 and p.n_aggs == 20 and p.spines == 16
+        assert len(paper_topo.switches) == 56
+
+    def test_tor_degree(self, paper_topo):
+        """Each ToR: 16 hosts + 4 aggs = 20 ports."""
+        tor = next(s for s in paper_topo.switches if "tor" in s.name)
+        assert len(tor.ports) == 20
+
+    def test_agg_degree(self, paper_topo):
+        """Each Agg: 4 ToRs + 4 spines = 8 ports."""
+        agg = next(s for s in paper_topo.switches if "agg" in s.name)
+        assert len(agg.ports) == 8
+
+    def test_spine_degree(self, paper_topo):
+        """Each spine: one Agg per pod = 5 ports."""
+        spine = next(s for s in paper_topo.switches if "spine" in s.name)
+        assert len(spine.ports) == 5
+
+    def test_link_rates(self, paper_topo):
+        host = paper_topo.hosts[0]
+        assert host.nic.spec.rate_bps == gbps(100.0)
+        tor = host.nic.peer_node
+        agg_port = next(
+            p for p in tor.ports if "agg" in p.peer_node.name
+        )
+        assert agg_port.spec.rate_bps == gbps(400.0)
+
+    def test_hop_counts(self, paper_topo):
+        """Same ToR: 2 links; same pod: 4; cross pod: 6 links (5 switch hops)."""
+        net = paper_topo.network
+        p = FatTreeParams()
+        h = paper_topo.hosts
+        same_tor = net.hop_count(h[0].node_id, h[1].node_id)
+        same_pod = net.hop_count(h[0].node_id, h[p.hosts_per_tor].node_id)
+        cross_pod = net.hop_count(
+            h[0].node_id, h[p.hosts_per_tor * p.tors_per_pod].node_id
+        )
+        assert same_tor == 2
+        assert same_pod == 4
+        assert cross_pod == 6
+
+    def test_cross_pod_ecmp_width(self, paper_topo):
+        """A ToR has 4 equal-cost aggs toward a cross-pod destination."""
+        net = paper_topo.network
+        tor = next(s for s in paper_topo.switches if s.name == "p0tor0")
+        remote_host = paper_topo.hosts[-1]  # pod 4
+        group = tor.routes[remote_host.node_id]
+        assert len(group) == 4
+
+    def test_spine_plane_partitioning(self, paper_topo):
+        """Agg i connects only to spines in plane i."""
+        agg0 = next(s for s in paper_topo.switches if s.name == "p0agg0")
+        spine_peers = {
+            p.peer_node.name for p in agg0.ports if "spine" in p.peer_node.name
+        }
+        assert spine_peers == {f"spine{i}" for i in range(4)}
+
+    def test_invalid_spine_count(self):
+        with pytest.raises(ValueError):
+            FatTreeParams(spines=15)  # not divisible by aggs_per_pod
+
+
+class TestScaledFatTree:
+    def test_scaled_preserves_oversubscription_ratio(self):
+        p = scaled_fattree_params()
+        assert p.fabric_rate_bps / p.host_rate_bps == pytest.approx(4.0)
+
+    def test_scaled_connectivity(self):
+        topo = build_fattree(scaled_fattree_params())
+        net = topo.network
+        hosts = topo.hosts
+        # Every pair of hosts is mutually reachable.
+        for h in hosts[1:]:
+            assert net.hop_count(hosts[0].node_id, h.node_id) >= 2
+
+    def test_host_order_pod_major(self):
+        topo = build_fattree(scaled_fattree_params())
+        assert topo.hosts[0].name.startswith("p0t0")
+        assert topo.hosts[-1].name.startswith("p1")

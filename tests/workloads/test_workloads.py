@@ -1,0 +1,179 @@
+"""Tests for incast generation, flow-size distributions, Poisson traffic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import mb, us
+from repro.workloads import (
+    ALISTORAGE,
+    HADOOP,
+    WEBSEARCH,
+    WEBSEARCH_STORAGE,
+    FlowSizeDistribution,
+    generate_poisson_traffic,
+    get_distribution,
+    offered_load,
+    poisson_arrival_rate_per_ns,
+    simultaneous_incast,
+    staggered_incast,
+)
+from repro.workloads.distributions import ScaledDistribution
+
+
+class TestIncast:
+    def test_paper_pattern(self):
+        """Sec. III-D: 16 flows, 1 MB each, two starting every 20 us."""
+        specs = staggered_incast(16)
+        assert len(specs) == 16
+        assert all(s.size_bytes == mb(1) for s in specs)
+        starts = [s.start_time_ns for s in specs]
+        assert starts[0] == starts[1] == 0.0
+        assert starts[2] == starts[3] == us(20)
+        assert starts[-1] == us(20) * 7
+
+    def test_custom_batching(self):
+        specs = staggered_incast(9, flows_per_batch=3, batch_interval_ns=us(5))
+        assert [s.start_time_ns for s in specs] == [
+            0.0, 0.0, 0.0, us(5), us(5), us(5), us(10), us(10), us(10)
+        ]
+
+    def test_simultaneous(self):
+        specs = simultaneous_incast(8)
+        assert all(s.start_time_ns == 0.0 for s in specs)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            staggered_incast(0)
+        with pytest.raises(ValueError):
+            staggered_incast(4, flows_per_batch=0)
+
+
+class TestDistributionsPaperStats:
+    """Each CDF must satisfy the statistics the paper quotes (Sec. VI-A)."""
+
+    def test_hadoop_mostly_small(self):
+        assert HADOOP.cdf(300_000) >= 0.95  # "95% < 300KB"
+        assert HADOOP.fraction_above(1_000_000) == pytest.approx(0.025, abs=0.005)
+
+    def test_websearch_many_long(self):
+        assert WEBSEARCH.fraction_above(1_000_000) == pytest.approx(0.30, abs=0.02)
+
+    def test_alistorage_almost_all_small(self):
+        assert ALISTORAGE.cdf(128_000) >= 0.96  # "96% < 128KB"
+        assert ALISTORAGE.cdf(2_000_000) == 1.0  # "100% < 2MB"
+
+    def test_mix_between_components(self):
+        frac = WEBSEARCH_STORAGE.fraction_above(1_000_000)
+        assert ALISTORAGE.fraction_above(1_000_000) < frac < WEBSEARCH.fraction_above(1_000_000)
+
+
+class TestDistributionMechanics:
+    def test_quantile_inverts_cdf(self):
+        for u in (0.1, 0.3, 0.5, 0.9, 0.99):
+            s = HADOOP.quantile(u)
+            assert HADOOP.cdf(s) == pytest.approx(u, abs=1e-9)
+
+    def test_sampling_matches_cdf(self):
+        rng = random.Random(11)
+        n = 20_000
+        samples = [WEBSEARCH.sample(rng) for _ in range(n)]
+        frac_above_1mb = sum(s > 1_000_000 for s in samples) / n
+        assert frac_above_1mb == pytest.approx(0.30, abs=0.02)
+
+    def test_empirical_mean_matches_analytic(self):
+        rng = random.Random(5)
+        n = 50_000
+        samples = [HADOOP.sample(rng) for _ in range(n)]
+        assert sum(samples) / n == pytest.approx(HADOOP.mean(), rel=0.1)
+
+    def test_invalid_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100.0, 0.5), (50.0, 1.0)))
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100.0, 0.5), (200.0, 0.9)))
+
+    def test_registry(self):
+        assert get_distribution("hadoop") is HADOOP
+        assert get_distribution("WEBSEARCH") is WEBSEARCH
+        with pytest.raises(ValueError):
+            get_distribution("nope")
+
+    def test_scaled_distribution(self):
+        scaled = ScaledDistribution(HADOOP, 0.1)
+        assert scaled.mean() == pytest.approx(HADOOP.mean() * 0.1)
+        assert scaled.fraction_above(100_000) == pytest.approx(
+            HADOOP.fraction_above(1_000_000)
+        )
+        rng = random.Random(3)
+        assert all(scaled.sample(rng) >= 1 for _ in range(100))
+
+    @given(u=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_monotone_and_in_support(self, u):
+        s = WEBSEARCH.quantile(u)
+        assert WEBSEARCH.points[0][0] <= s <= WEBSEARCH.points[-1][0]
+
+
+class TestPoissonTraffic:
+    def test_arrival_rate_formula(self):
+        # 50% of 16 hosts x 10 Gb/s with 1 MB mean flows.
+        rate = poisson_arrival_rate_per_ns(0.5, 16, 10e9, 1e6)
+        assert rate == pytest.approx(0.5 * 16 * 10e9 / 8 / 1e6 / 1e9)
+
+    def test_generated_load_close_to_target(self):
+        flows = generate_poisson_traffic(
+            n_hosts=16,
+            host_rate_bps=10e9,
+            load=0.5,
+            duration_ns=20e6,
+            distribution=HADOOP,
+            seed=9,
+        )
+        realized = offered_load(flows, 16, 10e9, 20e6)
+        assert realized == pytest.approx(0.5, rel=0.35)  # heavy-tailed sizes
+
+    def test_src_dst_distinct(self):
+        flows = generate_poisson_traffic(
+            n_hosts=4,
+            host_rate_bps=10e9,
+            load=0.3,
+            duration_ns=5e6,
+            distribution=ALISTORAGE,
+            seed=1,
+        )
+        assert flows
+        assert all(f.src_index != f.dst_index for f in flows)
+
+    def test_arrivals_sorted_and_within_duration(self):
+        flows = generate_poisson_traffic(
+            n_hosts=8,
+            host_rate_bps=10e9,
+            load=0.4,
+            duration_ns=1e6,
+            distribution=ALISTORAGE,
+            seed=2,
+        )
+        times = [f.start_time_ns for f in flows]
+        assert times == sorted(times)
+        assert all(0 <= t < 1e6 for t in times)
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(
+            n_hosts=8, host_rate_bps=10e9, load=0.4, duration_ns=1e6,
+            distribution=HADOOP, seed=42,
+        )
+        a = generate_poisson_traffic(**kwargs)
+        b = generate_poisson_traffic(**kwargs)
+        assert a == b
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_poisson_traffic(
+                n_hosts=1, host_rate_bps=1e9, load=0.5, duration_ns=1e6,
+                distribution=HADOOP,
+            )
+        with pytest.raises(ValueError):
+            poisson_arrival_rate_per_ns(0.0, 4, 1e9, 1e6)
