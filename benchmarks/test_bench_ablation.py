@@ -9,17 +9,16 @@
 
 import pytest
 
-from repro.cc import CCEnv, SwiftCC, make_cc
+from repro.cc import SwiftCC, make_cc
 from repro.cc.factory import hpcc_vai_config
 from repro.cc.hpcc import HpccCC, HpccConfig
 from repro.cc.swift import SwiftConfig
 from repro.core.variable_ai import VariableAIConfig
 from repro.experiments import IncastConfig, run_incast_cached, scaled_incast
-from repro.experiments.runner import make_env, run_incast
-from repro.metrics import jain_series
-from repro.sim import Flow, GoodputMonitor, QueueMonitor
+from repro.experiments.runner import make_env
+from repro.sim import Flow, QueueMonitor
 from repro.topology import build_star
-from repro.units import mb, us
+from repro.units import us
 from repro.workloads import staggered_incast
 
 

@@ -7,7 +7,7 @@ choose them).
 """
 
 from repro.cc.base import CCEnv, CongestionControl
-from repro.sim import Flow, Network, Simulator
+from repro.sim import Flow, Simulator
 from repro.topology import build_star
 from repro.units import gbps, us
 

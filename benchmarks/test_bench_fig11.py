@@ -5,8 +5,6 @@ the slowdown of > 1 MB flows grows to several times that of small flows,
 and VAI+SF keeps it several times lower.
 """
 
-import numpy as np
-
 from repro.experiments import run_datacenter_cached, scaled_datacenter
 from repro.experiments.figures import fig11
 from repro.experiments.reporting import render
@@ -26,7 +24,8 @@ def test_fig11_mix_is_long_flow_heavy(bench_once):
     bench_once(lambda: run_datacenter_cached(scaled_datacenter("hpcc", WORKLOAD)))
     mixed = run_datacenter_cached(scaled_datacenter("hpcc", WORKLOAD))
     hadoop = run_datacenter_cached(scaled_datacenter("hpcc", "hadoop"))
-    frac = lambda recs: sum(r.size_bytes > LONG for r in recs) / len(recs)
+    def frac(recs):
+        return sum(r.size_bytes > LONG for r in recs) / len(recs)
     assert frac(mixed.records) > 2 * frac(hadoop.records)
 
 

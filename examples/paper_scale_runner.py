@@ -18,7 +18,6 @@ import time
 
 from repro.experiments import ALL_FIGURES
 from repro.experiments.reporting import render
-from repro.units import SEC
 
 #: Measured on this harness (see EXPERIMENTS.md): conservative datapath rate.
 EVENTS_PER_SECOND = 400_000.0

@@ -12,7 +12,7 @@ This walks the whole public API surface in ~60 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro.cc import CCEnv, make_cc
+from repro.cc import make_cc
 from repro.experiments.runner import make_env
 from repro.metrics import jain_series
 from repro.sim import Flow, GoodputMonitor, QueueMonitor

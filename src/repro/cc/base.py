@@ -103,6 +103,16 @@ class CongestionControl(ABC):
     def on_cnp(self, now: float) -> None:
         """React to a DCQCN congestion-notification packet (default: no-op)."""
 
+    def on_timeout(self, now: float) -> None:
+        """React to a sender retransmission timeout (default: no-op).
+
+        Only invoked when the host has loss recovery enabled (faulty-fabric
+        experiments).  The substrate already applies go-back-N with
+        exponential RTO backoff; protocols may additionally cut their
+        window/rate here.  The default leaves the window untouched so that
+        the paper's protocols behave identically on the lossless fabric.
+        """
+
     # -- shared helpers ---------------------------------------------------------
 
     def _clamp_window(self, w: float) -> float:

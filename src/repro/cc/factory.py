@@ -28,12 +28,12 @@ target delay + min-BDP delay, 1 token/30 ns; dampener constant 8 for both.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List
 
 from ..core.variable_ai import VariableAIConfig
 from ..units import gbps, mbps, us
 from .base import CCEnv, CongestionControl
-from .dcqcn import DcqcnCC, DcqcnConfig
+from .dcqcn import DcqcnCC
 from .dctcp import DctcpCC, DctcpConfig, dctcp_vai_config
 from .hpcc import HpccCC, HpccConfig
 from .swift import SwiftCC, SwiftConfig

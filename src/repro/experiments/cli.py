@@ -12,9 +12,11 @@ import sys
 import time
 from typing import List, Optional
 
+from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
 from .reporting import render
+from .runner import drain_incomplete_runs, run_with_retry, set_default_budget
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +51,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="scaled",
         help="parameter preset (default: scaled; 'paper' is full Sec. VI-A scale)",
     )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run wall-clock watchdog (abort a run exceeding S seconds)",
+    )
+    parser.add_argument(
+        "--budget-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-run event-count watchdog (abort a run exceeding N events)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failing figure/extension up to N times (default: 0)",
+    )
     return parser
 
 
@@ -61,27 +84,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not figs and not exts:
         build_parser().print_help()
         return 2
-    for fig_id in figs:
-        fn = ALL_FIGURES.get(str(fig_id))
+    if args.budget_seconds is not None or args.budget_events is not None:
+        set_default_budget(
+            RunBudget(
+                wall_clock_s=args.budget_seconds, max_events=args.budget_events
+            )
+        )
+    exit_code = 0
+    jobs = [("figure", str(f), ALL_FIGURES) for f in figs]
+    jobs += [("extension", str(e), ALL_EXTENSIONS) for e in exts]
+    for kind, job_id, registry in jobs:
+        fn = registry.get(job_id)
         if fn is None:
-            print(f"error: unknown figure {fig_id!r}", file=sys.stderr)
+            print(f"error: unknown {kind} {job_id!r}", file=sys.stderr)
             return 2
         start = time.perf_counter()
-        result = fn(scale=args.scale)
+        try:
+            result = run_with_retry(fn, scale=args.scale, retries=args.retries)
+        except Exception as exc:
+            print(
+                f"error: {kind} {job_id} failed after {args.retries + 1} "
+                f"attempt(s): {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
         elapsed = time.perf_counter() - start
         print(render(result))
-        print(f"\n[figure {fig_id} reproduced in {elapsed:.1f}s]\n")
-    for ext_id in exts:
-        fn = ALL_EXTENSIONS.get(str(ext_id))
-        if fn is None:
-            print(f"error: unknown extension {ext_id!r}", file=sys.stderr)
-            return 2
-        start = time.perf_counter()
-        result = fn(scale=args.scale)
-        elapsed = time.perf_counter() - start
-        print(render(result))
-        print(f"\n[extension {ext_id} completed in {elapsed:.1f}s]\n")
-    return 0
+        print(f"\n[{kind} {job_id} reproduced in {elapsed:.1f}s]\n")
+    incomplete = drain_incomplete_runs()
+    if incomplete:
+        print(
+            f"error: {len(incomplete)} run(s) ended with incomplete flows:",
+            file=sys.stderr,
+        )
+        for line in incomplete:
+            print(f"  - {line}", file=sys.stderr)
+        exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -37,6 +37,58 @@ def red_for_rate(rate_bps: float) -> RedConfig:
     )
 
 
+#: Valid ``FaultConfig.target`` values for packet-level faults.
+FAULT_TARGETS = ("bottleneck", "fabric", "all")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative fault specification attached to an experiment config.
+
+    Frozen (and therefore hashable) so faulty configs key the result caches
+    exactly like healthy ones.  The runner translates this into
+    :mod:`repro.sim.faults` injectors at build time and automatically
+    enables go-back-N loss recovery on every host.
+
+    ``target`` selects where packet faults land: the monitored bottleneck
+    ports, every switch egress port (``"fabric"``), or every port including
+    host NICs (``"all"``).  ``link_flap`` is ``(down_at_ns, down_for_ns)``
+    applied to an automatically chosen link (first fabric switch-switch
+    link, falling back to a host uplink on single-switch topologies);
+    setting ``flap_period_ns`` repeats the cycle ``flap_count`` times.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    drop_every_nth: Optional[int] = None
+    target: str = "bottleneck"
+    link_flap: Optional[Tuple[float, float]] = None
+    flap_period_ns: Optional[float] = None
+    flap_count: int = 1
+    seed: int = 7
+    rto_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in FAULT_TARGETS:
+            raise ValueError(
+                f"target must be one of {FAULT_TARGETS}, got {self.target!r}"
+            )
+        if not 0.0 <= self.drop_rate <= 1.0 or not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("fault rates must be in [0, 1]")
+
+    @property
+    def has_packet_faults(self) -> bool:
+        return (
+            self.drop_rate > 0.0
+            or self.corrupt_rate > 0.0
+            or self.drop_every_nth is not None
+        )
+
+    @property
+    def has_link_faults(self) -> bool:
+        return self.link_flap is not None
+
+
 @dataclass(frozen=True)
 class IncastConfig:
     """An N-to-1 staggered incast experiment on the star topology."""
@@ -53,6 +105,7 @@ class IncastConfig:
     goodput_interval_ns: float = us(10.0)  # rate sampling for the Jain index
     timeout_ns: float = ms(50.0)
     seed: int = 1
+    faults: Optional[FaultConfig] = None
 
     def describe(self) -> str:
         return (
@@ -75,6 +128,7 @@ class DatacenterConfig:
     drain_timeout_ns: float = ms(30.0)
     fs_max_cwnd_pkts: float = 100.0
     seed: int = 42
+    faults: Optional[FaultConfig] = None
 
     def describe(self) -> str:
         return (

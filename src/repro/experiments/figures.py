@@ -25,7 +25,7 @@ Fig    Content
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +46,6 @@ from .config import (
     scaled_incast,
 )
 from .runner import (
-    DatacenterResult,
     IncastResult,
     run_datacenter_cached,
     run_incast_cached,

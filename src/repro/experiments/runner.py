@@ -8,14 +8,31 @@ Two entry points:
   returning per-flow slowdown records.
 
 Both are deterministic for a given config (seeded RNGs everywhere) and cache
-their results process-wide so that figure pairs sharing data (10/12, 11/13)
-pay for each simulation once.
+their results process-wide (bounded LRU) so that figure pairs sharing data
+(10/12, 11/13) pay for each simulation once.
+
+Hardening (sweeps call hundreds of runs; one bad run must not sink them):
+
+* :func:`set_default_budget` installs a process-wide :class:`RunBudget`
+  watchdog; a run that breaches it raises :exc:`WatchdogExpired`.
+* A run whose flows do not all complete is recorded in an incomplete-run
+  registry (:func:`drain_incomplete_runs`) so the CLI can exit non-zero
+  with a clear message instead of silently rendering partial figures.
+* :func:`run_with_retry` / :func:`salvage_runs` give sweeps retry-with-
+  backoff and partial-result salvage (succeeded runs are returned together
+  with structured :class:`RunFailure` reports for the rest).
+
+Configs carrying a :class:`repro.experiments.config.FaultConfig` get the
+matching :mod:`repro.sim.faults` injectors installed and go-back-N loss
+recovery enabled before the run starts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,15 +40,125 @@ from ..cc import CCEnv, make_cc, needs_red, uses_cnp
 from ..metrics.fairness import convergence_time_ns, jain_series
 from ..metrics.fct import FlowRecord, collect_records
 from ..metrics.queues import QueueStats, queue_stats
+from ..sim.faults import FaultPlan, LinkFlapInjector, PacketDropInjector
 from ..sim.flow import Flow
 from ..sim.monitor import GoodputMonitor, QueueMonitor
-from ..sim.network import Network
+from ..sim.network import CompletionStatus, Network, RunBudget
+from ..sim.switch import Switch
+from ..topology.base import Topology
 from ..topology.fattree import build_fattree
 from ..topology.star import build_star
 from ..workloads.distributions import ScaledDistribution, get_distribution
 from ..workloads.incast import staggered_incast
 from ..workloads.poisson import generate_poisson_traffic
-from .config import DatacenterConfig, IncastConfig, red_for_rate
+from .config import DatacenterConfig, FaultConfig, IncastConfig, red_for_rate
+
+
+class WatchdogExpired(RuntimeError):
+    """A run breached its :class:`RunBudget` (wall clock or event count)."""
+
+
+#: Process-wide budget applied to every run (None = unbudgeted).
+_DEFAULT_BUDGET: Optional[RunBudget] = None
+
+#: Human-readable descriptions of runs whose flows did not all complete.
+_INCOMPLETE_RUNS: List[str] = []
+
+
+def set_default_budget(budget: Optional[RunBudget]) -> None:
+    """Install (or clear, with None) the process-wide per-run watchdog."""
+    global _DEFAULT_BUDGET
+    _DEFAULT_BUDGET = budget
+
+
+def get_default_budget() -> Optional[RunBudget]:
+    return _DEFAULT_BUDGET
+
+
+def drain_incomplete_runs() -> List[str]:
+    """Return and clear the incomplete-run registry (CLI exit-code source)."""
+    out = list(_INCOMPLETE_RUNS)
+    _INCOMPLETE_RUNS.clear()
+    return out
+
+
+def _check_status(desc: str, status: CompletionStatus) -> None:
+    """Raise on watchdog expiry; register a timeout/stall for the CLI."""
+    if status.watchdog_expired:
+        raise WatchdogExpired(
+            f"{desc}: watchdog stopped the run ({status.stop_reason}) after "
+            f"{status.events_executed} events with "
+            f"{len(status.incomplete_flows)} flows incomplete"
+        )
+    if not status.completed:
+        _INCOMPLETE_RUNS.append(
+            f"{desc}: {status.stop_reason} with flows "
+            f"{status.incomplete_flows[:8]} incomplete"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fault installation
+# ---------------------------------------------------------------------------
+
+
+def _pick_flap_link(net: Network) -> Tuple[int, int]:
+    """The link a ``FaultConfig.link_flap`` targets.
+
+    Prefer a fabric (switch-switch) link — the interesting reroute case —
+    falling back to the first switch port's link on single-switch
+    topologies, where flapping any host uplink is the only option.
+    """
+    for sw in net.switches:
+        for port in sw.ports:
+            if isinstance(port.peer_node, Switch):
+                return sw.node_id, port.peer_node.node_id
+    for sw in net.switches:
+        if sw.ports:
+            return sw.node_id, sw.ports[0].peer_node.node_id
+    raise ValueError("topology has no links to flap")
+
+
+def install_faults(spec: FaultConfig, topo: Topology) -> FaultPlan:
+    """Translate a :class:`FaultConfig` into installed injectors.
+
+    Also enables go-back-N loss recovery on every host — dropped data would
+    otherwise deadlock its flow on the lossless fabric.
+    """
+    net = topo.network
+    plan = FaultPlan()
+    if spec.has_packet_faults:
+        if spec.target == "bottleneck":
+            ports = list(topo.bottleneck_ports)
+        elif spec.target == "fabric":
+            ports = [p for sw in net.switches for p in sw.ports]
+        else:  # "all"
+            ports = [p for n in net.nodes for p in n.ports]
+        plan.add(
+            PacketDropInjector(
+                ports=ports,
+                probability=spec.drop_rate,
+                corrupt_probability=spec.corrupt_rate,
+                every_nth=spec.drop_every_nth,
+                seed=spec.seed,
+            )
+        )
+    if spec.link_flap is not None:
+        a, b = _pick_flap_link(net)
+        down_at_ns, down_for_ns = spec.link_flap
+        plan.add(
+            LinkFlapInjector(
+                a,
+                b,
+                down_at_ns=down_at_ns,
+                down_for_ns=down_for_ns,
+                period_ns=spec.flap_period_ns,
+                count=spec.flap_count,
+            )
+        )
+    plan.install(net)
+    net.enable_loss_recovery(rto_ns=spec.rto_ns)
+    return plan
 
 
 def make_env(network: Network, src: int, dst: int, mtu: int = 1000) -> CCEnv:
@@ -67,6 +194,10 @@ class IncastResult:
     last_start_ns: float
     all_completed: bool
     events_executed: int
+    status: Optional[CompletionStatus] = None
+    incomplete_flow_ids: Tuple[int, ...] = ()
+    fault_drops: int = 0
+    retransmitted_bytes: int = 0
 
     def start_finish_pairs(self) -> List[Tuple[float, float]]:
         """(start, finish) per flow in start order — Figs. 2/3/8/9 data."""
@@ -107,6 +238,8 @@ def run_incast(cfg: IncastConfig) -> IncastResult:
         red=red,
     )
     net = topo.network
+    if cfg.faults is not None:
+        install_faults(cfg.faults, topo)
     receiver = topo.hosts[-1].node_id
     specs = staggered_incast(
         cfg.n_senders,
@@ -131,9 +264,12 @@ def run_incast(cfg: IncastConfig) -> IncastResult:
     ).start()
     gmon = GoodputMonitor(net.sim, flows, net.nodes, cfg.goodput_interval_ns).start()
 
-    completed = net.run_until_flows_complete(timeout_ns=cfg.timeout_ns)
+    status = net.run_until_flows_complete(
+        timeout_ns=cfg.timeout_ns, budget=_DEFAULT_BUDGET
+    )
     qmon.stop()
     gmon.stop()
+    _check_status(cfg.describe(), status)
 
     qt, qv = qmon.series()
     gt, rates = gmon.rates_bps()
@@ -149,8 +285,12 @@ def run_incast(cfg: IncastConfig) -> IncastResult:
         queue=queue_stats(qt, qv),
         convergence_ns=convergence_time_ns(jt, jv, threshold=0.9, after_ns=last_start),
         last_start_ns=last_start,
-        all_completed=completed,
+        all_completed=bool(status),
         events_executed=net.sim.events_executed,
+        status=status,
+        incomplete_flow_ids=status.incomplete_flows,
+        fault_drops=net.total_fault_drops(),
+        retransmitted_bytes=net.total_retransmitted_bytes(),
     )
 
 
@@ -169,6 +309,10 @@ class DatacenterResult:
     n_completed: int
     events_executed: int
     drops: int
+    status: Optional[CompletionStatus] = None
+    incomplete_flow_ids: Tuple[int, ...] = ()
+    fault_drops: int = 0
+    retransmitted_bytes: int = 0
 
     @property
     def completion_fraction(self) -> float:
@@ -180,6 +324,8 @@ def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
     red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
     topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)
     net = topo.network
+    if cfg.faults is not None:
+        install_faults(cfg.faults, topo)
     dist = get_distribution(cfg.workload)
     if cfg.size_scale != 1.0:
         dist = ScaledDistribution(dist, cfg.size_scale)
@@ -210,7 +356,18 @@ def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
         net.add_flow(flow, cc)
         flows.append(flow)
 
-    net.run_until_flows_complete(timeout_ns=cfg.duration_ns + cfg.drain_timeout_ns)
+    status = net.run_until_flows_complete(
+        timeout_ns=cfg.duration_ns + cfg.drain_timeout_ns, budget=_DEFAULT_BUDGET
+    )
+    # Unlike the incast, a drain timeout with a few stragglers is a valid
+    # outcome here (completion_fraction reports it), so only the watchdog is
+    # an error; the status still rides on the result for diagnosis.
+    if status.watchdog_expired:
+        raise WatchdogExpired(
+            f"{cfg.describe()}: watchdog stopped the run ({status.stop_reason}) "
+            f"after {status.events_executed} events with "
+            f"{len(status.incomplete_flows)} flows incomplete"
+        )
     records = collect_records(net, flows)
     return DatacenterResult(
         config=cfg,
@@ -219,6 +376,10 @@ def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
         n_completed=sum(1 for f in flows if f.completed),
         events_executed=net.sim.events_executed,
         drops=net.total_drops(),
+        status=status,
+        incomplete_flow_ids=status.incomplete_flows,
+        fault_drops=net.total_fault_drops(),
+        retransmitted_bytes=net.total_retransmitted_bytes(),
     )
 
 
@@ -226,15 +387,59 @@ def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
 # Process-wide result cache (figures 10/12 and 11/13 share simulations)
 # ---------------------------------------------------------------------------
 
-_INCAST_CACHE: Dict[IncastConfig, IncastResult] = {}
-_DC_CACHE: Dict[DatacenterConfig, DatacenterResult] = {}
+
+class LRUCache:
+    """A size-bounded mapping with least-recently-used eviction.
+
+    Results hold full time series and flow lists, so an unbounded cache in a
+    long sweep process grows without limit; the bound keeps the figure-pair
+    sharing benefit (hits are always the most recent configs) while capping
+    memory.  ``get`` refreshes recency; ``put`` evicts the oldest entries
+    once ``maxsize`` is exceeded.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.evictions = 0
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+
+#: Incast results are small (KBs of series); datacenter results hold per-flow
+#: records for thousands of flows, so their cache is tighter.
+_INCAST_CACHE = LRUCache(maxsize=64)
+_DC_CACHE = LRUCache(maxsize=32)
 
 
 def run_incast_cached(cfg: IncastConfig) -> IncastResult:
     result = _INCAST_CACHE.get(cfg)
     if result is None:
         result = run_incast(cfg)
-        _INCAST_CACHE[cfg] = result
+        _INCAST_CACHE.put(cfg, result)
     return result
 
 
@@ -242,7 +447,7 @@ def run_datacenter_cached(cfg: DatacenterConfig) -> DatacenterResult:
     result = _DC_CACHE.get(cfg)
     if result is None:
         result = run_datacenter(cfg)
-        _DC_CACHE[cfg] = result
+        _DC_CACHE.put(cfg, result)
     return result
 
 
@@ -250,3 +455,79 @@ def clear_caches() -> None:
     """Drop cached results (benchmarks measuring cold runs call this)."""
     _INCAST_CACHE.clear()
     _DC_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Retry and partial-result salvage (sweep hardening)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One run that kept failing after every retry, as a structured report."""
+
+    key: Any
+    error: str
+    attempts: int
+
+
+def run_with_retry(
+    fn: Callable[..., Any],
+    *args: Any,
+    retries: int = 1,
+    backoff_s: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs: Any,
+) -> Any:
+    """Call ``fn`` with up to ``retries`` retries and exponential backoff.
+
+    The sleep after attempt *k* (1-based) is ``backoff_s * 2**(k-1)``;
+    ``sleep`` is injectable so tests never actually wait.  The final failure
+    propagates unchanged.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(*args, **kwargs)
+        except Exception:
+            if attempt > retries:
+                raise
+            if backoff_s > 0.0:
+                sleep(backoff_s * 2.0 ** (attempt - 1))
+
+
+def salvage_runs(
+    keys: Iterable[Any],
+    fn: Callable[[Any], Any],
+    *,
+    retries: int = 1,
+    backoff_s: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Tuple[List[Tuple[Any, Any]], List[RunFailure]]:
+    """Run ``fn(key)`` for each key, salvaging what succeeds.
+
+    Returns ``(successes, failures)``: successes as ``(key, result)`` pairs
+    in input order, failures as :class:`RunFailure` reports.  A run that
+    raises is retried ``retries`` times before being written off — so one
+    pathological seed cannot sink a whole sweep.
+    """
+    successes: List[Tuple[Any, Any]] = []
+    failures: List[RunFailure] = []
+    for key in keys:
+        try:
+            successes.append(
+                (key, run_with_retry(fn, key, retries=retries,
+                                     backoff_s=backoff_s, sleep=sleep))
+            )
+        except Exception as exc:
+            failures.append(
+                RunFailure(
+                    key=key,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=retries + 1,
+                )
+            )
+    return successes, failures

@@ -4,22 +4,29 @@ The paper reports single-run figures; a reproduction should quantify run-to-
 run variance and sensitivity.  These helpers run a config across seeds or a
 parameter across values and aggregate the headline metrics with means and
 standard deviations (NumPy on the analysis side, per the HPC guides).
+
+Sweeps are hardened against individual run failures: each run is retried
+(``retries`` times, exponential backoff) and, if it still fails, written off
+as a structured :class:`repro.experiments.runner.RunFailure` while the other
+runs' aggregates are returned.  The returned :class:`SweepOutcome` is a plain
+dict of aggregates (existing callers index it unchanged) with the failure
+reports on ``.failures``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..metrics.fct import summarize, tail_slowdown_above
 from .config import DatacenterConfig, IncastConfig
 from .runner import (
-    DatacenterResult,
-    IncastResult,
+    RunFailure,
     run_datacenter_cached,
     run_incast_cached,
+    salvage_runs,
 )
 
 
@@ -42,45 +49,89 @@ class Aggregate:
         return f"{self.mean:.3g} ± {self.std:.2g} (n={self.n})"
 
 
+class SweepOutcome(Dict[str, Aggregate]):
+    """Sweep aggregates plus the failures that were salvaged around.
+
+    A dict subclass so every existing ``sweep["metric"]`` call keeps
+    working; ``failures`` lists runs that kept raising after retries and
+    ``n_failed``/``n_succeeded`` summarize coverage.
+    """
+
+    def __init__(
+        self,
+        aggregates: Dict[str, Aggregate],
+        failures: Sequence[RunFailure] = (),
+        n_succeeded: int = 0,
+    ):
+        super().__init__(aggregates)
+        self.failures: List[RunFailure] = list(failures)
+        self.n_succeeded = n_succeeded
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+
 # ---------------------------------------------------------------------------
 # Incast seed sweeps
 # ---------------------------------------------------------------------------
 
 
 def incast_seed_sweep(
-    base: IncastConfig, seeds: Sequence[int]
-) -> Dict[str, Aggregate]:
+    base: IncastConfig,
+    seeds: Sequence[int],
+    *,
+    retries: int = 0,
+    run: Callable[[IncastConfig], "object"] = run_incast_cached,
+) -> SweepOutcome:
     """Run an incast config across seeds; aggregate the figure metrics.
 
     Returns aggregates for: convergence time past last start (ns), mean and
-    max queue (bytes), finish spread (ns), start-finish correlation.
+    max queue (bytes), finish spread (ns), start-finish correlation.  A seed
+    whose run raises is retried ``retries`` times then reported on the
+    outcome's ``failures``; the aggregates cover the seeds that succeeded.
     """
-    results = [run_incast_cached(replace(base, seed=s)) for s in seeds]
+    successes, failures = salvage_runs(
+        [replace(base, seed=s) for s in seeds], run, retries=retries
+    )
+    results = [r for _, r in successes]
     conv = [
         (r.convergence_ns - r.last_start_ns)
         if r.convergence_ns is not None
         else float("nan")
         for r in results
     ]
-    return {
-        "convergence_ns": Aggregate.of(conv),
-        "mean_queue_bytes": Aggregate.of([r.queue.mean_bytes for r in results]),
-        "max_queue_bytes": Aggregate.of([r.queue.max_bytes for r in results]),
-        "finish_spread_ns": Aggregate.of([r.finish_spread_ns() for r in results]),
-        "start_finish_corr": Aggregate.of(
-            [r.start_finish_correlation() for r in results]
-        ),
-    }
+    return SweepOutcome(
+        {
+            "convergence_ns": Aggregate.of(conv),
+            "mean_queue_bytes": Aggregate.of([r.queue.mean_bytes for r in results]),
+            "max_queue_bytes": Aggregate.of([r.queue.max_bytes for r in results]),
+            "finish_spread_ns": Aggregate.of(
+                [r.finish_spread_ns() for r in results]
+            ),
+            "start_finish_corr": Aggregate.of(
+                [r.start_finish_correlation() for r in results]
+            ),
+        },
+        failures=[
+            RunFailure(key=f.key.seed, error=f.error, attempts=f.attempts)
+            for f in failures
+        ],
+        n_succeeded=len(results),
+    )
 
 
 def compare_variants_across_seeds(
     make_config: Callable[[str], IncastConfig],
     variants: Sequence[str],
     seeds: Sequence[int],
-) -> Dict[str, Dict[str, Aggregate]]:
+    *,
+    retries: int = 0,
+) -> Dict[str, SweepOutcome]:
     """Seed-sweep several variants with paired seeds for fair comparison."""
     return {
-        v: incast_seed_sweep(make_config(v), seeds) for v in variants
+        v: incast_seed_sweep(make_config(v), seeds, retries=retries)
+        for v in variants
     }
 
 
@@ -95,9 +146,14 @@ def datacenter_seed_sweep(
     *,
     long_flow_bytes: float = 100_000.0,
     tail_percentile: float = 90.0,
-) -> Dict[str, Aggregate]:
+    retries: int = 0,
+    run: Callable[[DatacenterConfig], "object"] = run_datacenter_cached,
+) -> SweepOutcome:
     """Run a datacenter config across seeds; aggregate slowdown metrics."""
-    results = [run_datacenter_cached(replace(base, seed=s)) for s in seeds]
+    successes, failures = salvage_runs(
+        [replace(base, seed=s) for s in seeds], run, retries=retries
+    )
+    results = [r for _, r in successes]
     p50, p99, tail = [], [], []
     for r in results:
         s = summarize(r.records)
@@ -105,14 +161,21 @@ def datacenter_seed_sweep(
         p99.append(s.get("p99_slowdown", float("nan")))
         t = tail_slowdown_above(r.records, long_flow_bytes, tail_percentile)
         tail.append(t if t is not None else float("nan"))
-    return {
-        "p50_slowdown": Aggregate.of(p50),
-        "p99_slowdown": Aggregate.of(p99),
-        f"long_flow_p{tail_percentile:g}": Aggregate.of(tail),
-        "completion_fraction": Aggregate.of(
-            [r.completion_fraction for r in results]
-        ),
-    }
+    return SweepOutcome(
+        {
+            "p50_slowdown": Aggregate.of(p50),
+            "p99_slowdown": Aggregate.of(p99),
+            f"long_flow_p{tail_percentile:g}": Aggregate.of(tail),
+            "completion_fraction": Aggregate.of(
+                [r.completion_fraction for r in results]
+            ),
+        },
+        failures=[
+            RunFailure(key=f.key.seed, error=f.error, attempts=f.attempts)
+            for f in failures
+        ],
+        n_succeeded=len(results),
+    )
 
 
 def load_sweep(

@@ -12,7 +12,6 @@ The paper's queue plots show two properties worth quantifying:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from ..sim.flow import Flow
 from ..sim.port import Port

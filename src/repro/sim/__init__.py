@@ -7,11 +7,18 @@ Layering (bottom-up): :mod:`engine` (event loop) → :mod:`packet` /
 """
 
 from .engine import Event, SimulationError, Simulator
+from .faults import (
+    FaultPlan,
+    LinkFlapInjector,
+    PacketDropInjector,
+    PacketFaultHook,
+    SwitchBlackoutInjector,
+)
 from .flow import Flow, ReceiverState, SenderState
 from .host import DEFAULT_MTU, Host
 from .link import LinkSpec
 from .monitor import GoodputMonitor, QueueMonitor
-from .network import Network
+from .network import CompletionStatus, Network, RunBudget
 from .node import Node
 from .packet import (
     ACK,
@@ -34,9 +41,11 @@ __all__ = [
     "ACK_BYTES",
     "AckContext",
     "CNP",
+    "CompletionStatus",
     "DATA",
     "DEFAULT_MTU",
     "Event",
+    "FaultPlan",
     "Flow",
     "FlowSnapshot",
     "FlowTracer",
@@ -44,11 +53,14 @@ __all__ = [
     "HEADER_BYTES",
     "HopRecord",
     "Host",
+    "LinkFlapInjector",
     "LinkSpec",
     "Network",
     "Node",
     "PAUSE",
     "Packet",
+    "PacketDropInjector",
+    "PacketFaultHook",
     "PfcConfig",
     "PortCounterSampler",
     "PortSample",
@@ -59,8 +71,10 @@ __all__ = [
     "ReceiverState",
     "RedConfig",
     "RoutingError",
+    "RunBudget",
     "SenderState",
     "SimulationError",
     "Simulator",
     "Switch",
+    "SwitchBlackoutInjector",
 ]

@@ -83,7 +83,13 @@ class Flow:
 
 
 class SenderState:
-    """Sender-side runtime state for one flow."""
+    """Sender-side runtime state for one flow.
+
+    The retransmission fields (``rto_*``, ``retransmits``,
+    ``retransmitted_bytes``) are only active when the owning host has loss
+    recovery enabled (see :meth:`repro.sim.host.Host.enable_loss_recovery`);
+    on a lossless fabric they stay at their initial values.
+    """
 
     __slots__ = (
         "flow",
@@ -94,6 +100,11 @@ class SenderState:
         "timer",
         "packets_sent",
         "last_ack_time",
+        "rto_timer",
+        "rto_ns",
+        "rto_backoff",
+        "retransmits",
+        "retransmitted_bytes",
     )
 
     def __init__(self, flow: Flow, cc: "CongestionControl"):
@@ -105,6 +116,11 @@ class SenderState:
         self.timer = None
         self.packets_sent = 0
         self.last_ack_time = 0.0
+        self.rto_timer = None
+        self.rto_ns = 0.0  # assigned when the host enables loss recovery
+        self.rto_backoff = 1.0
+        self.retransmits = 0
+        self.retransmitted_bytes = 0
 
     @property
     def inflight(self) -> int:

@@ -14,6 +14,17 @@ Senders follow the RDMA NIC model the paper assumes:
 
 The send loop re-arms itself on ACK arrival (window opens) or via a pacing
 timer, so there is no polling.
+
+Loss recovery (off by default — the paper's fabric is lossless): when enabled
+via :meth:`Host.enable_loss_recovery`, every flow keeps a retransmission
+timer armed while data is unacknowledged.  If the cumulative ACK stalls for a
+full RTO the sender performs **go-back-N**: it rewinds ``next_seq`` to the
+last cumulative ACK and resends from there, doubling the RTO (exponential
+backoff, capped) until progress resumes.  Receivers stay
+cumulative-ACK-only; an out-of-order packet beyond a gap is *not* credited
+(it re-ACKs the old cumulative edge), which is exactly what makes go-back-N
+correct.  With recovery disabled the timer is never armed and the hot path
+pays a single attribute test.
 """
 
 from __future__ import annotations
@@ -33,6 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DEFAULT_MTU = 1000
 #: DCQCN: minimum spacing between CNPs for one flow (50 microseconds).
 DEFAULT_CNP_INTERVAL_NS = 50_000.0
+#: Loss recovery: RTO = max(floor, scale x base RTT).  The scale leaves room
+#: for queueing delay well beyond the unloaded RTT so that a healthy incast
+#: never fires a spurious retransmission.
+DEFAULT_RTO_SCALE = 16.0
+DEFAULT_RTO_MIN_NS = 25_000.0
+#: Exponential backoff cap: RTO never exceeds ``rto_ns * max_backoff``.
+DEFAULT_MAX_RTO_BACKOFF = 64.0
 
 
 class Host(Node):
@@ -53,6 +71,13 @@ class Host(Node):
         self.senders: Dict[int, SenderState] = {}
         self.receivers: Dict[int, ReceiverState] = {}
         self.completion_callbacks: List[Callable[[Flow], None]] = []
+        # Loss-recovery knobs; disabled unless enable_loss_recovery() is called.
+        self.loss_recovery = False
+        self.rto_override_ns: Optional[float] = None
+        self.rto_scale = DEFAULT_RTO_SCALE
+        self.rto_min_ns = DEFAULT_RTO_MIN_NS
+        self.max_rto_backoff = DEFAULT_MAX_RTO_BACKOFF
+        self.corrupt_discards = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -69,6 +94,33 @@ class Host(Node):
 
     # -- sender ---------------------------------------------------------------
 
+    def enable_loss_recovery(
+        self,
+        *,
+        rto_ns: Optional[float] = None,
+        rto_scale: float = DEFAULT_RTO_SCALE,
+        rto_min_ns: float = DEFAULT_RTO_MIN_NS,
+        max_backoff: float = DEFAULT_MAX_RTO_BACKOFF,
+    ) -> None:
+        """Turn on go-back-N retransmission for this host's sender flows.
+
+        ``rto_ns`` fixes the base timeout outright; otherwise it is computed
+        per flow as ``max(rto_min_ns, rto_scale * base_rtt)``.  Already
+        registered flows are updated too.
+        """
+        self.loss_recovery = True
+        self.rto_override_ns = rto_ns
+        self.rto_scale = rto_scale
+        self.rto_min_ns = rto_min_ns
+        self.max_rto_backoff = max_backoff
+        for state in self.senders.values():
+            state.rto_ns = self._rto_for(state)
+
+    def _rto_for(self, state: SenderState) -> float:
+        if self.rto_override_ns is not None:
+            return self.rto_override_ns
+        return max(self.rto_min_ns, self.rto_scale * state.cc.env.base_rtt_ns)
+
     def add_sender_flow(self, flow: Flow, cc: "CongestionControl") -> SenderState:
         """Register an outgoing flow; transmission starts at flow.start_time."""
         if flow.flow_id in self.senders:
@@ -76,6 +128,8 @@ class Host(Node):
         state = SenderState(flow, cc)
         cc.bind(state, self)
         self.senders[flow.flow_id] = state
+        if self.loss_recovery:
+            state.rto_ns = self._rto_for(state)
         self.sim.schedule_at(max(flow.start_time, self.sim.now()), self._start_flow, state)
         return state
 
@@ -83,6 +137,8 @@ class Host(Node):
         state.flow.started = True
         state.cc.on_flow_start(self.sim.now())
         self._try_send(state)
+        if self.loss_recovery:
+            self._arm_rto(state)
 
     def _try_send(self, state: SenderState) -> None:
         """Emit as many packets as window and pacing currently allow."""
@@ -128,6 +184,39 @@ class Host(Node):
         state.timer = None
         self._try_send(state)
 
+    # -- loss recovery -----------------------------------------------------------
+
+    def _arm_rto(self, state: SenderState, *, reset: bool = False) -> None:
+        """Arm the retransmission timer (idempotent unless ``reset``)."""
+        if state.flow.completed:
+            return
+        if reset and state.rto_timer is not None:
+            state.rto_timer.cancel()
+            state.rto_timer = None
+        if state.rto_timer is None:
+            state.rto_timer = self.sim.schedule(
+                state.rto_ns * state.rto_backoff, self._rto_fired, state
+            )
+
+    def _rto_fired(self, state: SenderState) -> None:
+        state.rto_timer = None
+        flow = state.flow
+        if flow.completed:
+            return
+        if state.next_seq <= state.acked:
+            # Nothing in flight (pacing gap / window fully acknowledged but
+            # flow unfinished): keep watching without counting a timeout.
+            self._arm_rto(state)
+            return
+        # Go-back-N: rewind to the last cumulative ACK and resend from there.
+        state.retransmits += 1
+        state.retransmitted_bytes += state.next_seq - state.acked
+        state.next_seq = state.acked
+        state.rto_backoff = min(state.rto_backoff * 2.0, self.max_rto_backoff)
+        state.cc.on_timeout(self.sim.now())
+        self._arm_rto(state)
+        self._try_send(state)
+
     # -- receiver ---------------------------------------------------------------
 
     def add_receiver_flow(self, flow: Flow) -> ReceiverState:
@@ -144,6 +233,11 @@ class Host(Node):
             if in_port is not None:
                 in_port.apply_pause(pkt)
             return
+        if pkt.corrupt:
+            # CRC failure: the packet (data, ACK or CNP alike) is discarded
+            # silently; sender-side loss recovery covers the gap.
+            self.corrupt_discards += 1
+            return
         kind = pkt.kind
         if kind == DATA:
             self._receive_data(pkt)
@@ -159,10 +253,12 @@ class Host(Node):
                 f"{self.name}: data for unknown flow {pkt.flow_id} ({pkt!r})"
             )
         state.packets_received += 1
-        # Paths are flow-pinned and the fabric is lossless, so arrival is
-        # in-order; the max() guards the (untriggered) duplicated case.
+        # Cumulative-ACK discipline: only packets that extend the contiguous
+        # prefix advance ``received``.  A packet beyond a loss-induced gap
+        # must NOT be credited (go-back-N will resend the gap); a duplicate
+        # or overlapping retransmission advances by its novel suffix only.
         end = pkt.end_seq()
-        if end > state.received:
+        if pkt.seq <= state.received and end > state.received:
             state.received = end
         now = self.sim.now()
         if state.flow.use_cnp and pkt.ece:
@@ -183,6 +279,10 @@ class Host(Node):
         else:
             state.acked = pkt.seq
         state.last_ack_time = now
+        if self.loss_recovery and newly > 0:
+            # Forward progress: reset the backoff and restart the RTO clock.
+            state.rto_backoff = 1.0
+            self._arm_rto(state, reset=True)
         ctx = AckContext(
             now=now,
             ack_seq=pkt.seq,
@@ -195,6 +295,9 @@ class Host(Node):
         state.cc.on_ack(ctx)
         if state.acked >= flow.size and not flow.completed:
             flow.finish_time = now
+            if state.rto_timer is not None:
+                state.rto_timer.cancel()
+                state.rto_timer = None
             for cb in self.completion_callbacks:
                 cb(flow)
             return

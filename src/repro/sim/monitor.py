@@ -8,7 +8,7 @@ data — the split the HPC guides recommend).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -16,9 +16,10 @@ choice (RED marking); workload generators take their own seeds.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from ..units import serialization_time_ns
 from .engine import Simulator
 from .flow import Flow
 from .host import Host
@@ -31,6 +32,52 @@ from .switch import Switch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cc.base import CongestionControl
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Hard per-run safety limits for :meth:`Network.run_until_flows_complete`.
+
+    ``wall_clock_s`` bounds real elapsed time; ``max_events`` bounds executed
+    simulator events.  Either breach stops the run with the matching
+    ``stop_reason`` so a single pathological simulation cannot wedge a sweep.
+    Budgets never alter event ordering, so a run that finishes within budget
+    is byte-identical to an unbudgeted one.
+    """
+
+    wall_clock_s: Optional[float] = None
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_clock_s is not None and self.wall_clock_s < 0:
+            raise ValueError("wall_clock_s must be non-negative")
+        if self.max_events is not None and self.max_events < 0:
+            raise ValueError("max_events must be non-negative")
+
+
+@dataclass
+class CompletionStatus:
+    """Outcome of :meth:`Network.run_until_flows_complete`.
+
+    Truthiness preserves the old boolean contract (``bool(status)`` is "all
+    flows completed"), while the fields make a partial run distinguishable
+    downstream: which flows never finished and why the loop stopped
+    (``"completed"``, ``"timeout"``, ``"stalled"``, ``"wall_clock"`` or
+    ``"max_events"``).
+    """
+
+    completed: bool
+    stop_reason: str
+    incomplete_flows: Tuple[int, ...]
+    events_executed: int
+
+    def __bool__(self) -> bool:
+        return self.completed
+
+    @property
+    def watchdog_expired(self) -> bool:
+        """True when a :class:`RunBudget` limit (not simulated time) stopped us."""
+        return self.stop_reason in ("wall_clock", "max_events")
 
 
 class Network:
@@ -47,6 +94,8 @@ class Network:
         self._routing_built = False
         self._next_flow_id = 0
         self.completed_flows: List[Flow] = []
+        #: Links currently administratively/physically down, as (lo, hi) pairs.
+        self._down_links: Set[Tuple[int, int]] = set()
 
     # -- topology construction --------------------------------------------------
 
@@ -118,8 +167,25 @@ class Network:
 
     def build_routing(self) -> None:
         """Populate every switch's ECMP tables for every host destination."""
+        self._rebuild_routing()
+        self._routing_built = True
+
+    def _effective_adjacency(self) -> Dict[int, List[int]]:
+        """The adjacency map with failed links removed."""
+        if not self._down_links:
+            return self._adjacency
+        down = self._down_links
+        return {
+            u: [v for v in nbrs if (min(u, v), max(u, v)) not in down]
+            for u, nbrs in self._adjacency.items()
+        }
+
+    def _rebuild_routing(self) -> None:
+        adj = self._effective_adjacency()
+        for sw in self.switches:
+            sw.routes.clear()
         for host in self.hosts:
-            next_hops = ecmp_next_hops(self._adjacency, host.node_id)
+            next_hops = ecmp_next_hops(adj, host.node_id)
             for sw in self.switches:
                 hops = next_hops.get(sw.node_id)
                 if hops is None:
@@ -127,13 +193,57 @@ class Network:
                 sw.set_route(
                     host.node_id, tuple(sw.port_to[h] for h in hops)
                 )
-        self._routing_built = True
+
+    # -- fault handling -----------------------------------------------------------
+
+    def set_link_state(self, a: int, b: int, up: bool) -> None:
+        """Mark the a<->b link up or down and reroute around it.
+
+        Packets that finish serializing on a down link are lost (counted as
+        ``fault_drops`` on the port); packets already propagating when the
+        link fails still arrive, matching the cut-cable intuition.  Routing
+        tables are rebuilt immediately, and switches move to
+        drop-on-unroutable mode since transient unreachability is now
+        legitimate.
+        """
+        port_ab = self.nodes[a].port_to.get(b)
+        port_ba = self.nodes[b].port_to.get(a)
+        if port_ab is None or port_ba is None:
+            raise ValueError(f"no link between nodes {a} and {b}")
+        key = (min(a, b), max(a, b))
+        if up:
+            self._down_links.discard(key)
+        else:
+            self._down_links.add(key)
+        changed = port_ab.link_up != up
+        port_ab.link_up = up
+        port_ba.link_up = up
+        if self._routing_built and changed:
+            for sw in self.switches:
+                sw.drop_unroutable = True
+            self._rebuild_routing()
+
+    def set_switch_state(self, switch_id: int, up: bool) -> None:
+        """Take every link of one switch down (or back up) — a blackout."""
+        node = self.nodes[switch_id]
+        if not isinstance(node, Switch):
+            raise TypeError(f"node {switch_id} ({node.name}) is not a switch")
+        for neighbour in self._adjacency[switch_id]:
+            self.set_link_state(switch_id, neighbour, up)
+
+    def link_is_up(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) not in self._down_links
+
+    def enable_loss_recovery(self, **kwargs) -> None:
+        """Enable go-back-N retransmission on every host (see ``Host``)."""
+        for host in self.hosts:
+            host.enable_loss_recovery(**kwargs)
 
     # -- path utilities -----------------------------------------------------------
 
     def hop_count(self, src: int, dst: int) -> int:
-        """Links on a shortest path between two nodes."""
-        dist = bfs_distances(self._adjacency, dst)
+        """Links on a shortest path between two nodes (live links only)."""
+        dist = bfs_distances(self._effective_adjacency(), dst)
         return dist[src]
 
     def path_rtt_ns(self, src: int, dst: int, mtu_payload: int = 1000) -> float:
@@ -163,14 +273,15 @@ class Network:
         return rate / 8.0 * self.path_rtt_ns(src, dst) / 1e9
 
     def _shortest_path(self, src: int, dst: int) -> List[int]:
-        dist = bfs_distances(self._adjacency, dst)
+        adjacency = self._effective_adjacency()
+        dist = bfs_distances(adjacency, dst)
         if src not in dist:
             raise RuntimeError(f"no path {src} -> {dst}")
         path = [src]
         node = src
         while node != dst:
             node = min(
-                (v for v in self._adjacency[node] if v in dist),
+                (v for v in adjacency[node] if v in dist),
                 key=lambda v: dist[v],
             )
             path.append(node)
@@ -209,23 +320,77 @@ class Network:
         self.sim.run(until=until, max_events=max_events)
 
     def run_until_flows_complete(
-        self, timeout_ns: float, check_interval_ns: float = 100_000.0
-    ) -> bool:
-        """Run until all registered flows complete or ``timeout_ns`` passes.
+        self,
+        timeout_ns: float,
+        check_interval_ns: float = 100_000.0,
+        *,
+        budget: Optional[RunBudget] = None,
+    ) -> CompletionStatus:
+        """Run until all registered flows complete or a limit is hit.
 
-        Returns True if every flow completed.
+        Limits are the simulated-time ``timeout_ns`` and, optionally, a
+        :class:`RunBudget` (wall-clock seconds and/or executed events).  The
+        returned :class:`CompletionStatus` is truthy iff every flow
+        completed, preserving the historical boolean contract, and records
+        the incomplete flow ids and the stop reason otherwise.
         """
         deadline = self.sim.now() + timeout_ns
+        events_start = self.sim.events_executed
+        wall_start = time.monotonic()
+        stop_reason = "timeout"
         while self.sim.now() < deadline:
             if all(f.completed for f in self.flows.values()):
-                return True
-            step_until = min(deadline, self.sim.now() + check_interval_ns)
-            self.sim.run(until=step_until)
-            if self.sim.peek_time() is None:
                 break
-        return all(f.completed for f in self.flows.values())
+            max_events = None
+            if budget is not None:
+                if (
+                    budget.wall_clock_s is not None
+                    and time.monotonic() - wall_start >= budget.wall_clock_s
+                ):
+                    stop_reason = "wall_clock"
+                    break
+                if budget.max_events is not None:
+                    max_events = budget.max_events - (
+                        self.sim.events_executed - events_start
+                    )
+                    if max_events <= 0:
+                        stop_reason = "max_events"
+                        break
+            step_until = min(deadline, self.sim.now() + check_interval_ns)
+            self.sim.run(until=step_until, max_events=max_events)
+            if self.sim.peek_time() is None:
+                # Event heap drained: either everything finished or the
+                # simulation deadlocked (e.g. loss without recovery).
+                stop_reason = "stalled"
+                break
+        completed = all(f.completed for f in self.flows.values())
+        if completed:
+            stop_reason = "completed"
+        incomplete = tuple(
+            sorted(fid for fid, f in self.flows.items() if not f.completed)
+        )
+        return CompletionStatus(
+            completed=completed,
+            stop_reason=stop_reason,
+            incomplete_flows=incomplete,
+            events_executed=self.sim.events_executed - events_start,
+        )
 
-    # -- monitoring helpers -------------------------------------------------------------
+    # -- monitoring helpers -------------------------------------------------------
+
+    def total_fault_drops(self) -> int:
+        """Packets lost to injected faults or down links (all ports)."""
+        return sum(p.fault_drops for n in self.nodes for p in n.ports)
+
+    def total_routing_drops(self) -> int:
+        """Packets dropped for lack of a route (reroute transients)."""
+        return sum(sw.routing_drops for sw in self.switches)
+
+    def total_retransmitted_bytes(self) -> int:
+        """Bytes resent by go-back-N recovery across all sender flows."""
+        return sum(
+            s.retransmitted_bytes for h in self.hosts for s in h.senders.values()
+        )
 
     def total_drops(self) -> int:
         return sum(p.drops for n in self.nodes for p in n.ports)

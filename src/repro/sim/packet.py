@@ -15,7 +15,7 @@ the ACK.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 # Packet kinds (ints, not an Enum, to keep hot-path comparisons cheap).
 DATA = 0
@@ -100,6 +100,7 @@ class Packet:
         "ecmp_hash",
         "priority",
         "pause_duration",
+        "corrupt",
     )
 
     def __init__(
@@ -129,6 +130,9 @@ class Packet:
         self.ecmp_hash = ecmp_hash
         self.priority = priority
         self.pause_duration = 0.0
+        # Set by fault injectors; corrupt packets are discarded (and counted)
+        # by the destination host's CRC check, never acknowledged.
+        self.corrupt = False
 
     # -- constructors ---------------------------------------------------
 

@@ -31,6 +31,12 @@ from .pfc import PfcConfig, PfcEgressState, PfcIngress
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
 
+# Fault-hook action codes (see repro.sim.faults).  Ints, not an Enum, for the
+# same hot-path reason as the packet kinds.
+FAULT_NONE = 0
+FAULT_DROP = 1
+FAULT_CORRUPT = 2
+
 
 @dataclass(frozen=True)
 class RedConfig:
@@ -90,6 +96,9 @@ class Port:
         "pfc_ingress",
         "max_qlen_seen",
         "_wake_event",
+        "fault_hook",
+        "link_up",
+        "fault_drops",
     )
 
     def __init__(
@@ -124,6 +133,11 @@ class Port:
         self.pfc_ingress = PfcIngress(pfc)
         self.max_qlen_seen = 0.0
         self._wake_event = None
+        # Fault-injection state (repro.sim.faults): None / True means healthy
+        # and costs one attribute test on the hot path.
+        self.fault_hook = None
+        self.link_up = True
+        self.fault_drops = 0
 
     # -- identity -----------------------------------------------------------
 
@@ -146,15 +160,21 @@ class Port:
             self.queue.appendleft((pkt, ingress))
             self.queue_bytes += pkt.size
         else:
+            hook = self.fault_hook
+            if hook is not None:
+                action = hook.on_packet(pkt)
+                if action == FAULT_DROP:
+                    self.fault_drops += 1
+                    self._release_dropped(pkt, ingress)
+                    return False
+                if action == FAULT_CORRUPT:
+                    pkt.corrupt = True
             if (
                 self.max_queue_bytes is not None
                 and self.queue_bytes + pkt.size > self.max_queue_bytes
             ):
                 self.drops += 1
-                if ingress is not None:
-                    resume = ingress.pfc_ingress.on_release(pkt.size)
-                    if resume:  # pragma: no cover - drop+PFC is pathological
-                        self.owner.send_pfc(ingress, resume=True)
+                self._release_dropped(pkt, ingress)
                 return False
             if self.red is not None and pkt.kind == DATA:
                 p = self.red.mark_probability(self.queue_bytes)
@@ -166,6 +186,19 @@ class Port:
             self.max_qlen_seen = self.queue_bytes
         self.try_drain()
         return True
+
+    def _release_dropped(self, pkt: Packet, ingress: Optional["Port"]) -> None:
+        """Undo the ingress PFC accounting for a packet dropped at enqueue.
+
+        A dropped packet never occupies the egress buffer, so the bytes it
+        charged against the upstream-facing ingress accounting must be freed
+        immediately — otherwise a drop while the upstream is PFC-paused can
+        leave the pause latched forever (the RESUME that would have been
+        triggered by this packet's departure never fires).
+        """
+        if ingress is not None:
+            if ingress.pfc_ingress.on_release(pkt.size):
+                self.owner.send_pfc(ingress, resume=True)
 
     # -- drain --------------------------------------------------------------
 
@@ -198,9 +231,14 @@ class Port:
         if ingress is not None:
             self.owner.on_forwarded(pkt, ingress)
         if self.peer_node is not None:
-            self.sim.schedule(
-                self.spec.prop_delay_ns, self.peer_node.receive, pkt, self.peer_port
-            )
+            if self.link_up:
+                self.sim.schedule(
+                    self.spec.prop_delay_ns, self.peer_node.receive, pkt, self.peer_port
+                )
+            else:
+                # Link is down: the queue keeps draining (carrier loss), every
+                # serialized packet is lost on the wire.
+                self.fault_drops += 1
         self.try_drain()
 
     def _schedule_wake(self, at: float) -> None:
@@ -231,6 +269,7 @@ class Port:
         """Reset monitoring counters (not queue state)."""
         self.max_qlen_seen = self.queue_bytes
         self.drops = 0
+        self.fault_drops = 0
 
     @property
     def utilization_bytes(self) -> float:

@@ -33,6 +33,12 @@ class Switch(Node):
         #: dst host node_id -> candidate egress ports (ECMP group)
         self.routes: Dict[int, Tuple[Port, ...]] = {}
         self.packets_forwarded = 0
+        #: When True, a missing route drops the packet (counted) instead of
+        #: raising.  The network turns this on once link failures make
+        #: transient unreachability legitimate; in a healthy topology a
+        #: missing route stays a loud configuration error.
+        self.drop_unroutable = False
+        self.routing_drops = 0
 
     # -- routing -------------------------------------------------------------
 
@@ -41,14 +47,19 @@ class Switch(Node):
             raise RoutingError(f"{self.name}: empty ECMP group for dst {dst}")
         self.routes[dst] = ports
 
-    def route(self, pkt: Packet) -> Port:
-        """Select the egress port for a packet (flow-hash ECMP)."""
-        try:
-            group = self.routes[pkt.dst]
-        except KeyError:
+    def route(self, pkt: Packet) -> Optional[Port]:
+        """Select the egress port for a packet (flow-hash ECMP).
+
+        Returns ``None`` (instead of raising) for an unroutable packet when
+        :attr:`drop_unroutable` is set.
+        """
+        group = self.routes.get(pkt.dst)
+        if group is None:
+            if self.drop_unroutable:
+                return None
             raise RoutingError(
                 f"{self.name}: no route to node {pkt.dst} for {pkt!r}"
-            ) from None
+            )
         if len(group) == 1:
             return group[0]
         return group[pkt.ecmp_hash % len(group)]
@@ -65,6 +76,14 @@ class Switch(Node):
             if in_port.pfc_ingress.on_enqueue(pkt.size):
                 self.send_pfc(in_port, resume=False)
         out = self.route(pkt)
+        if out is None:
+            # Destination unreachable (failed links): drop, and release the
+            # ingress PFC accounting charged above so the pause cannot latch.
+            self.routing_drops += 1
+            if in_port is not None:
+                if in_port.pfc_ingress.on_release(pkt.size):
+                    self.send_pfc(in_port, resume=True)
+            return
         self.packets_forwarded += 1
         out.enqueue(pkt, ingress=in_port)
 

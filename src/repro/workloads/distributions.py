@@ -25,9 +25,8 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
-import numpy as np
 
 # (size_bytes, cumulative_probability) — must be strictly increasing in both
 # coordinates and end at probability 1.0.

@@ -1,6 +1,5 @@
 """Unit tests for the Swift implementation (driven with synthetic ACKs)."""
 
-import math
 import random
 
 import pytest

@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments import (
     ALL_FIGURES,
-    DatacenterConfig,
     IncastConfig,
     clear_caches,
     format_table,

@@ -7,7 +7,6 @@ star (identical link/protocol parameters to Sec. III-D) and a short slice
 of the 320-host fat-tree simulation.
 """
 
-import pytest
 
 from repro.cc import make_cc, uses_cnp
 from repro.experiments import paper_datacenter, paper_incast, run_incast

@@ -77,7 +77,12 @@ class TestDatacenterSweeps:
 
 class TestExtensions:
     def test_registry(self):
-        assert set(ALL_EXTENSIONS) == {"generality", "seed-variance", "load-sweep"}
+        assert set(ALL_EXTENSIONS) == {
+            "generality",
+            "seed-variance",
+            "load-sweep",
+            "failure-sweep",
+        }
 
     def test_generality_pairs_cover_four_families(self):
         bases = {b.split("-")[0] for b, _ in GENERALITY_PAIRS}

@@ -91,5 +91,6 @@ class TestWorkloadMix:
     def test_websearch_mix_has_more_long_flows(self, dc_run):
         hadoop = dc_run("hpcc")
         mixed = dc_run("hpcc", "websearch+storage")
-        frac = lambda recs: sum(r.size_bytes > 100_000 for r in recs) / len(recs)
+        def frac(recs):
+            return sum(r.size_bytes > 100_000 for r in recs) / len(recs)
         assert frac(mixed.records) > frac(hadoop.records)

@@ -6,12 +6,10 @@ elements must be fully seed-controlled, and different seeds must actually
 explore different randomness.
 """
 
-import pytest
 
-from repro.cc import make_cc, uses_cnp
+from repro.cc import make_cc
 from repro.experiments import (
     IncastConfig,
-    clear_caches,
     run_datacenter,
     run_incast,
     scaled_datacenter,

@@ -6,7 +6,6 @@ pathological flow sizes, simultaneous (non-staggered) incast bursts, and
 conservation checks that hold regardless.
 """
 
-import pytest
 
 from repro.cc import CCEnv, make_cc
 from repro.cc.base import CongestionControl

@@ -5,7 +5,6 @@ the heart of the reproduction: each test is one sentence from the paper
 turned into an executable assertion.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import run_incast_cached, scaled_incast

@@ -1,0 +1,237 @@
+"""Tests for the fault-injection subsystem (repro.sim.faults)."""
+
+import random
+
+import pytest
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.sim import Flow, Network
+from repro.sim.faults import (
+    FaultPlan,
+    LinkFlapInjector,
+    PacketDropInjector,
+    PacketFaultHook,
+    SwitchBlackoutInjector,
+)
+from repro.sim.packet import ACK, DATA, Packet
+from repro.sim.port import FAULT_CORRUPT, FAULT_DROP, FAULT_NONE
+from repro.units import gbps, us
+
+
+class NullCC(CongestionControl):
+    def __init__(self, env, window=1e12):
+        super().__init__(env)
+        self.window_bytes = window
+
+    def on_ack(self, ctx):
+        pass
+
+
+def env_for(net, src, dst):
+    host = net.nodes[src]
+    return CCEnv(
+        line_rate_bps=host.ports[0].spec.rate_bps,
+        base_rtt_ns=net.path_rtt_ns(src, dst),
+        hops=net.hop_count(src, dst),
+    )
+
+
+def star_net(n_senders=2):
+    net = Network()
+    hosts = [net.add_host() for _ in range(n_senders + 1)]
+    sw = net.add_switch()
+    for h in hosts:
+        net.connect(h, sw, gbps(8), us(1))
+    net.build_routing()
+    return net, hosts, sw
+
+
+def data_pkt(seq=0, payload=1000):
+    return Packet.data(1, 0, 2, seq, payload, send_ts=0.0)
+
+
+class TestPacketFaultHook:
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            PacketFaultHook(rng, drop_prob=1.5)
+        with pytest.raises(ValueError):
+            PacketFaultHook(rng, drop_prob=0.6, corrupt_prob=0.6)
+        with pytest.raises(ValueError):
+            PacketFaultHook(rng, every_nth=0)
+
+    def test_every_nth_is_periodic(self):
+        hook = PacketFaultHook(random.Random(0), every_nth=3)
+        actions = [hook.on_packet(data_pkt(seq=i)) for i in range(9)]
+        assert actions == [FAULT_NONE, FAULT_NONE, FAULT_DROP] * 3
+        assert hook.drops == 3
+
+    def test_kind_filter_skips_acks(self):
+        hook = PacketFaultHook(random.Random(0), every_nth=1, kinds=(DATA,))
+        ack = Packet.ack(data_pkt(), 1000, 0.0)
+        assert ack.kind == ACK
+        assert hook.on_packet(ack) == FAULT_NONE
+        assert hook.on_packet(data_pkt()) == FAULT_DROP
+
+    def test_probabilistic_drop_rate(self):
+        hook = PacketFaultHook(random.Random(7), drop_prob=0.1)
+        n = 5000
+        actions = [hook.on_packet(data_pkt()) for _ in range(n)]
+        rate = actions.count(FAULT_DROP) / n
+        assert rate == pytest.approx(0.1, abs=0.02)
+        assert hook.drops == actions.count(FAULT_DROP)
+
+    def test_corrupt_band(self):
+        hook = PacketFaultHook(random.Random(3), drop_prob=0.1, corrupt_prob=0.2)
+        n = 5000
+        actions = [hook.on_packet(data_pkt()) for _ in range(n)]
+        assert actions.count(FAULT_CORRUPT) / n == pytest.approx(0.2, abs=0.03)
+        assert hook.corruptions == actions.count(FAULT_CORRUPT)
+
+    def test_same_seed_same_decisions(self):
+        a = PacketFaultHook(random.Random(5), drop_prob=0.3)
+        b = PacketFaultHook(random.Random(5), drop_prob=0.3)
+        assert [a.on_packet(data_pkt()) for _ in range(200)] == [
+            b.on_packet(data_pkt()) for _ in range(200)
+        ]
+
+
+class TestPacketDropInjector:
+    def test_install_attaches_per_port_hooks(self):
+        net, hosts, sw = star_net()
+        inj = PacketDropInjector(ports=sw.ports, probability=0.5, seed=1)
+        inj.install(net)
+        assert all(p.fault_hook is not None for p in sw.ports)
+        assert len(inj.hooks) == len(sw.ports)
+        # Distinct streams per port (derived seeds differ).
+        r0 = [inj.hooks[0].rng.random() for _ in range(5)]
+        r1 = [inj.hooks[1].rng.random() for _ in range(5)]
+        assert r0 != r1
+
+    def test_double_install_on_same_port_raises(self):
+        net, hosts, sw = star_net()
+        PacketDropInjector(ports=sw.ports, probability=0.5, seed=1).install(net)
+        with pytest.raises(ValueError):
+            PacketDropInjector(ports=sw.ports, probability=0.5, seed=2).install(net)
+
+    def test_callable_selector(self):
+        net, hosts, sw = star_net()
+        inj = PacketDropInjector(
+            ports=lambda n: n.switches[0].ports, every_nth=2, seed=0
+        )
+        inj.install(net)
+        assert len(inj.hooks) == len(sw.ports)
+
+    def test_empty_selector_raises(self):
+        net, hosts, sw = star_net()
+        with pytest.raises(ValueError):
+            PacketDropInjector(ports=[], probability=0.5).install(net)
+
+    def test_dropped_packets_counted_on_port(self):
+        net, hosts, sw = star_net(n_senders=1)
+        dst = hosts[-1].node_id
+        bottleneck = sw.port_to[dst]
+        PacketDropInjector(ports=[bottleneck], every_nth=2, seed=0).install(net)
+        net.add_flow(
+            Flow(0, hosts[0].node_id, dst, 10_000, 0.0),
+            NullCC(env_for(net, hosts[0].node_id, dst)),
+        )
+        net.run(until=us(100))
+        assert bottleneck.fault_drops == 5  # every 2nd of 10 packets
+        assert net.total_fault_drops() == 5
+
+
+class TestLinkFlapInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlapInjector(0, 1, down_at_ns=0.0, down_for_ns=0.0)
+        with pytest.raises(ValueError):
+            LinkFlapInjector(
+                0, 1, down_at_ns=0.0, down_for_ns=100.0, period_ns=50.0
+            )
+
+    def test_single_flap_toggles_link_state(self):
+        net, hosts, sw = star_net()
+        a, b = hosts[0].node_id, sw.node_id
+        LinkFlapInjector(a, b, down_at_ns=100.0, down_for_ns=200.0).install(net)
+        assert net.link_is_up(a, b)
+        net.run(until=150.0)
+        assert not net.link_is_up(a, b)
+        net.run(until=400.0)
+        assert net.link_is_up(a, b)
+
+    def test_periodic_flap_repeats(self):
+        net, hosts, sw = star_net()
+        a, b = hosts[0].node_id, sw.node_id
+        LinkFlapInjector(
+            a, b, down_at_ns=100.0, down_for_ns=50.0, period_ns=200.0, count=3
+        ).install(net)
+        down_windows = [(100.0, 150.0), (300.0, 350.0), (500.0, 550.0)]
+        for start, end in down_windows:
+            net.run(until=(start + end) / 2)
+            assert not net.link_is_up(a, b)
+            net.run(until=end + 10.0)
+            assert net.link_is_up(a, b)
+
+
+class TestSwitchBlackout:
+    def test_blackout_downs_every_switch_link(self):
+        net, hosts, sw = star_net()
+        SwitchBlackoutInjector(sw.node_id, down_at_ns=100.0, down_for_ns=100.0).install(net)
+        net.run(until=150.0)
+        assert all(not net.link_is_up(sw.node_id, h.node_id) for h in hosts)
+        net.run(until=250.0)
+        assert all(net.link_is_up(sw.node_id, h.node_id) for h in hosts)
+
+    def test_blackout_on_host_raises(self):
+        net, hosts, sw = star_net()
+        SwitchBlackoutInjector(hosts[0].node_id, 0.0, 100.0).install(net)
+        with pytest.raises(TypeError):
+            net.run(until=10.0)
+
+
+class TestFaultPlan:
+    def test_install_wires_every_injector(self):
+        net, hosts, sw = star_net()
+        plan = FaultPlan(
+            PacketDropInjector(ports=sw.ports, every_nth=5, seed=1),
+        ).add(LinkFlapInjector(hosts[0].node_id, sw.node_id, 100.0, 50.0))
+        assert len(plan) == 2
+        plan.install(net)
+        assert all(p.fault_hook is not None for p in sw.ports)
+
+    def test_double_install_raises(self):
+        net, hosts, sw = star_net()
+        plan = FaultPlan()
+        plan.install(net)
+        with pytest.raises(RuntimeError):
+            plan.install(net)
+
+
+class TestLinkDownDatapath:
+    def test_down_link_loses_serialized_packets(self):
+        """Packets finishing serialization on a down link vanish (counted)."""
+        net, hosts, sw = star_net(n_senders=1)
+        src, dst = hosts[0].node_id, hosts[-1].node_id
+        net.add_flow(Flow(0, src, dst, 5000, 0.0), NullCC(env_for(net, src, dst)))
+        # The sender's uplink dies: its NIC keeps draining, the wire eats
+        # every packet (host NICs have no routing to divert them).
+        net.set_link_state(src, sw.node_id, False)
+        net.run(until=us(50))
+        assert hosts[0].nic.fault_drops == 5
+        assert hosts[-1].receivers[0].received == 0
+        assert not net.flows[0].completed
+        assert net.total_fault_drops() == 5
+
+    def test_unroutable_after_failure_drops_instead_of_raising(self):
+        """After any link failure, switches drop unroutable packets."""
+        net, hosts, sw = star_net(n_senders=1)
+        src, dst = hosts[0].node_id, hosts[-1].node_id
+        net.add_flow(Flow(0, src, dst, 5000, 0.0), NullCC(env_for(net, src, dst)))
+        # The receiver's link dies: routing is rebuilt without it, so the
+        # switch has no route for dst and drops (instead of RoutingError).
+        net.set_link_state(sw.node_id, dst, False)
+        net.run(until=us(50))
+        assert sw.drop_unroutable
+        assert sw.routing_drops == 5
+        assert net.total_routing_drops() == 5

@@ -7,7 +7,6 @@ from repro.sim.packet import (
     ACK_BYTES,
     CNP,
     CNP_BYTES,
-    DATA,
     HEADER_BYTES,
     PAUSE,
     PAUSE_BYTES,

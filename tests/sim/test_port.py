@@ -7,7 +7,7 @@ import pytest
 from repro.sim.engine import Simulator
 from repro.sim.link import LinkSpec
 from repro.sim.node import Node
-from repro.sim.packet import HEADER_BYTES, Packet
+from repro.sim.packet import Packet
 from repro.sim.pfc import PfcConfig
 from repro.sim.port import Port, RedConfig
 
@@ -221,3 +221,118 @@ class TestPfcPause:
         port.enqueue(data_pkt(seq=1000))
         sim.run(until=500_000.0)
         assert len(sink.received) == 1  # first finished, second held
+
+
+class TestDropReleasesPfcAccounting:
+    """Covers the drop-while-PFC-accounted path in Port.enqueue.
+
+    A packet tail-dropped at a switch egress never departs, so the departure
+    that would have released its ingress PFC accounting never happens.  The
+    drop path must release the bytes immediately — otherwise the inflated
+    occupancy stays above XON forever and the upstream pause latches until
+    the quanta expire (33 ms with the defaults), deadlocking the run.
+    """
+
+    def _overloaded_net(self):
+        from repro.cc.base import CCEnv, CongestionControl
+        from repro.sim import Flow, Network
+        from repro.units import gbps, us
+
+        class BlastCC(CongestionControl):
+            def __init__(self, env):
+                super().__init__(env)
+                self.window_bytes = 1e12
+
+            def on_ack(self, ctx):
+                pass
+
+        pfc = PfcConfig(xoff=3000.0, xon=1000.0)
+        net = Network()
+        hosts = [net.add_host() for _ in range(3)]
+        sw = net.add_switch()
+        for h in hosts[:2]:
+            net.connect(h, sw, gbps(8), us(1), pfc=pfc)
+        # Receiver link: a buffer so small the 2-to-1 overload must drop.
+        net.connect(hosts[2], sw, gbps(8), us(1), pfc=pfc,
+                    max_queue_bytes=6000.0)
+        net.build_routing()
+        net.enable_loss_recovery()
+        dst = hosts[2].node_id
+        for i, h in enumerate(hosts[:2]):
+            env = CCEnv(
+                line_rate_bps=gbps(8),
+                base_rtt_ns=net.path_rtt_ns(h.node_id, dst),
+                hops=net.hop_count(h.node_id, dst),
+            )
+            net.add_flow(Flow(i, h.node_id, dst, 30_000, 0.0), BlastCC(env))
+        return net, hosts, sw
+
+    def test_drop_while_paused_sends_resume(self):
+        """Deterministic walk of the exact path: the ingress has crossed
+        XOFF (upstream paused) and the very packet that tail-drops brings
+        occupancy back under XON — the RESUME must come from the drop path,
+        because no departure will ever fire for a dropped packet."""
+        from repro.cc.base import CCEnv, CongestionControl
+        from repro.sim import Flow, Network
+        from repro.sim.packet import Packet as Pkt
+        from repro.units import gbps, us
+
+        class IdleCC(CongestionControl):
+            def on_ack(self, ctx):
+                pass
+
+        pfc = PfcConfig(xoff=3000.0, xon=2500.0)
+        net = Network()
+        sender, sink = net.add_host(), net.add_host()
+        sw = net.add_switch()
+        net.connect(sender, sw, gbps(8), us(1), pfc=pfc)
+        # Bottleneck holds one queued packet: the third in a burst drops.
+        net.connect(sink, sw, gbps(8), us(1), pfc=pfc, max_queue_bytes=1100.0)
+        net.build_routing()
+        # Register the flow so the sink's ACKs land on real sender state,
+        # but feed the data by hand: next_seq is pre-advanced to the flow
+        # size so the sender itself never transmits.
+        flow = Flow(0, sender.node_id, sink.node_id, 3000, 1e18)
+        env = CCEnv(line_rate_bps=gbps(8), base_rtt_ns=us(4), hops=2)
+        net.add_flow(flow, IdleCC(env))
+        sender.senders[0].next_seq = 3000
+        in_port = sw.port_to[sender.node_id]
+        ingress = in_port.pfc_ingress
+
+        def feed(seq):
+            sw.receive(
+                Pkt.data(0, sender.node_id, sink.node_id, seq, 1000, 0.0),
+                in_port,
+            )
+
+        feed(0)  # starts serializing on the bottleneck
+        feed(1000)  # queued (1048 <= 1100)
+        assert ingress.occupancy == pytest.approx(2096.0)
+        assert not ingress.paused_upstream
+        # Third packet: charging it crosses XOFF (3144 >= 3000) -> PAUSE
+        # goes upstream; then the egress tail-drops it, and the release
+        # (3144 - 1048 = 2096 <= XON) must send the RESUME right there.
+        feed(2000)
+        bottleneck = sw.port_to[sink.node_id]
+        assert bottleneck.drops == 1
+        assert ingress.occupancy == pytest.approx(2096.0)
+        assert not ingress.paused_upstream  # resumed by the drop release
+        net.run(until=us(100))
+        # Both control frames traversed the wire; the sender ends unpaused
+        # and every byte of accounting drains with the queue.
+        assert sender.nic.pfc_egress.paused_until == 0.0
+        assert ingress.occupancy == pytest.approx(0.0)
+
+    def test_overload_with_drops_leaks_no_accounting(self):
+        from repro.units import us
+
+        net, hosts, sw = self._overloaded_net()
+        bottleneck = sw.port_to[hosts[2].node_id]
+        status = net.run_until_flows_complete(timeout_ns=us(5000))
+        # The 2-to-1 overload drops, yet the run completes (go-back-N
+        # refills the gaps) and no PFC accounting is left behind.
+        assert bottleneck.drops > 0
+        assert status, status.stop_reason
+        for port in sw.ports:
+            assert port.pfc_ingress.occupancy == pytest.approx(0.0)
+            assert not port.pfc_ingress.paused_upstream
