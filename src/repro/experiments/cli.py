@@ -3,6 +3,15 @@
 ``--scale paper`` runs the paper's full parameters (hours in pure Python at
 figure 10-13 scale — see EXPERIMENTS.md); the default ``scaled`` presets run
 each figure in seconds to a couple of minutes.
+
+Campaign execution: the simulations behind the selected figures are
+collected up front and run as one deduplicated campaign — across ``--jobs``
+worker processes, backed by the persistent result store (``--store DIR``,
+on by default; ``--no-store`` opts out).  A store entry is valid only for
+the exact simulator code version that produced it (see
+:mod:`repro.experiments.store`); ``--store-gc`` deletes entries from older
+code versions.  ``--profile`` reports per-figure event counts and events/s
+from the simulator's global event counter.
 """
 
 from __future__ import annotations
@@ -12,11 +21,17 @@ import sys
 import time
 from typing import List, Optional
 
+from ..sim import engine
 from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
+from .parallel import campaign_for_figures, run_campaign
 from .reporting import render
 from .runner import drain_incomplete_runs, run_with_retry, set_default_budget
+from .store import ResultStore, set_store
+
+#: Default on-disk result store location (relative to the working directory).
+DEFAULT_STORE_DIR = ".repro-store"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry a failing figure/extension up to N times (default: 0)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation campaign (default: 1)",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_DIR,
+        metavar="DIR",
+        help=f"persistent result store directory (default: {DEFAULT_STORE_DIR})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent result store for this invocation",
+    )
+    parser.add_argument(
+        "--store-gc",
+        action="store_true",
+        help="delete store entries from older simulator code versions",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-figure simulator event counts and events/s",
+    )
     return parser
 
 
@@ -81,15 +124,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     exts = list(args.exts or [])
     if args.all:
         figs = sorted(ALL_FIGURES, key=int)
+
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(args.store)
+        set_store(store)
+    if args.store_gc:
+        gc_store = store if store is not None else ResultStore(args.store)
+        removed, freed = gc_store.gc()
+        print(f"[store] gc: removed {removed} stale file(s), freed {freed} bytes")
+        if not figs and not exts:
+            return 0
     if not figs and not exts:
         build_parser().print_help()
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    budget = None
     if args.budget_seconds is not None or args.budget_events is not None:
-        set_default_budget(
-            RunBudget(
-                wall_clock_s=args.budget_seconds, max_events=args.budget_events
-            )
+        budget = RunBudget(
+            wall_clock_s=args.budget_seconds, max_events=args.budget_events
         )
+        set_default_budget(budget)
+
+    # Run the figures' simulations as one deduplicated campaign up front;
+    # the figure functions then replay them from the warm caches.
+    campaign = campaign_for_figures(figs, scale=args.scale)
+    if campaign:
+        campaign_events = engine.total_events_executed()
+        try:
+            outcome = run_campaign(campaign, jobs=args.jobs, budget=budget)
+        except Exception as exc:
+            # Figures retry failing runs individually below; the campaign
+            # failing wholesale (e.g. a broken pool) only loses parallelism.
+            print(
+                f"warning: campaign failed ({type(exc).__name__}: {exc}); "
+                "falling back to serial per-figure runs",
+                file=sys.stderr,
+            )
+        else:
+            print(f"[campaign] {outcome.stats.summary()}")
+            if args.profile:
+                # Events executed by pool workers happen in other processes;
+                # this counter covers the serial (jobs=1) campaign path.
+                events = engine.total_events_executed() - campaign_events
+                rate = events / outcome.stats.wall_s if outcome.stats.wall_s else 0.0
+                print(
+                    f"[profile] campaign: events={events} "
+                    f"wall={outcome.stats.wall_s:.2f}s events/s={rate:,.0f}"
+                )
+
     exit_code = 0
     jobs = [("figure", str(f), ALL_FIGURES) for f in figs]
     jobs += [("extension", str(e), ALL_EXTENSIONS) for e in exts]
@@ -99,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: unknown {kind} {job_id!r}", file=sys.stderr)
             return 2
         start = time.perf_counter()
+        events_before = engine.total_events_executed()
         try:
             result = run_with_retry(fn, scale=args.scale, retries=args.retries)
         except Exception as exc:
@@ -112,6 +198,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         elapsed = time.perf_counter() - start
         print(render(result))
         print(f"\n[{kind} {job_id} reproduced in {elapsed:.1f}s]\n")
+        if args.profile:
+            events = engine.total_events_executed() - events_before
+            rate = events / elapsed if elapsed > 0 else 0.0
+            print(
+                f"[profile] {kind} {job_id}: events={events} "
+                f"wall={elapsed:.2f}s events/s={rate:,.0f}"
+            )
+    if store is not None:
+        print(f"[store] {store.stats.summary()}")
     incomplete = drain_incomplete_runs()
     if incomplete:
         print(

@@ -25,6 +25,20 @@ from typing import Optional, Tuple
 from ..sim.port import RedConfig
 from ..topology.fattree import FatTreeParams, scaled_fattree_params
 from ..units import gbps, mb, ms, us
+from .store import config_key
+
+
+class _CacheKeyMixin:
+    """Content-hash key shared by the in-memory LRU and the on-disk store.
+
+    The key comes from :func:`repro.experiments.store.config_key`'s
+    canonical rendering (fields sorted by name, defaults omitted), so it is
+    stable across field reordering and across adding new defaulted fields —
+    unlike the dataclass hash, which is also per-process.
+    """
+
+    def cache_key(self) -> str:
+        return config_key(self)
 
 
 def red_for_rate(rate_bps: float) -> RedConfig:
@@ -42,7 +56,7 @@ FAULT_TARGETS = ("bottleneck", "fabric", "all")
 
 
 @dataclass(frozen=True)
-class FaultConfig:
+class FaultConfig(_CacheKeyMixin):
     """Declarative fault specification attached to an experiment config.
 
     Frozen (and therefore hashable) so faulty configs key the result caches
@@ -90,7 +104,7 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
-class IncastConfig:
+class IncastConfig(_CacheKeyMixin):
     """An N-to-1 staggered incast experiment on the star topology."""
 
     variant: str
@@ -116,7 +130,7 @@ class IncastConfig:
 
 
 @dataclass(frozen=True)
-class DatacenterConfig:
+class DatacenterConfig(_CacheKeyMixin):
     """A trace-driven fat-tree experiment."""
 
     variant: str

@@ -1,0 +1,236 @@
+"""Parallel experiment campaigns: fan configs across cores, cache by content.
+
+A *campaign* is the set of simulation configs a figure selection needs.
+:func:`run_campaign` deduplicates them by content key, serves what the
+in-memory LRU or the persistent :mod:`store` already holds, and fans the
+remainder out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Results come back to the parent, which seeds the runner's caches — figure
+rendering afterwards is pure cache hits, so the existing sequential figure
+code needs no changes to benefit.
+
+Determinism: a simulation is a pure function of its config (every RNG in
+the simulator is seeded from config fields), so a config computed in a
+worker process is byte-identical to one computed serially or replayed from
+the store — ``tests/experiments/test_parallel_store.py`` locks this in.
+Workers share nothing: each runs its configs in a fresh interpreter with
+its own seeded RNGs, and per-run watchdog budgets are re-installed in every
+worker by the pool initializer.
+
+``jobs=1`` never spawns a pool — campaigns degrade gracefully to serial
+execution on single-core machines (and under coverage tools that dislike
+forked children).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..sim.network import RunBudget
+from .config import (
+    DATACENTER_VARIANTS,
+    FIG1_HPCC_VARIANTS,
+    FIG1_SWIFT_VARIANTS,
+    FIG5_HPCC_VARIANTS,
+    FIG6_SWIFT_VARIANTS,
+    SCALED_LARGE_INCAST,
+    DatacenterConfig,
+    IncastConfig,
+    paper_datacenter,
+    paper_incast,
+    scaled_datacenter,
+    scaled_incast,
+)
+from .runner import (
+    peek_cached,
+    run_datacenter,
+    run_incast,
+    seed_result_caches,
+    set_default_budget,
+)
+
+AnyConfig = Union[IncastConfig, DatacenterConfig]
+
+
+def run_config(cfg: AnyConfig) -> Any:
+    """Simulate one config (uncached dispatch; the pool's work function)."""
+    if isinstance(cfg, IncastConfig):
+        return run_incast(cfg)
+    if isinstance(cfg, DatacenterConfig):
+        return run_datacenter(cfg)
+    raise TypeError(f"not a runnable config: {type(cfg).__name__}")
+
+
+def _worker_init(budget: Optional[RunBudget]) -> None:
+    """Pool initializer: re-install the parent's per-run watchdog budget."""
+    set_default_budget(budget)
+
+
+@dataclass
+class CampaignStats:
+    """What one campaign did: cache effectiveness and parallel speed."""
+
+    requested: int = 0  # configs asked for, duplicates included
+    unique: int = 0  # after content-key dedup
+    cached: int = 0  # served by LRU or store, no simulation
+    executed: int = 0  # actually simulated this campaign
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.requested} config(s), {self.unique} unique: "
+            f"{self.cached} cached, {self.executed} simulated "
+            f"(jobs={self.jobs}, {self.wall_s:.1f}s)"
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Results keyed by config content key, plus stats and any failures."""
+
+    results: Dict[str, Any]
+    stats: CampaignStats
+    failures: List[Tuple[str, str]]  # (config key, "ErrorType: message")
+
+    def result_for(self, cfg: AnyConfig) -> Any:
+        return self.results[cfg.cache_key()]
+
+
+def run_campaign(
+    configs: Sequence[AnyConfig],
+    *,
+    jobs: int = 1,
+    budget: Optional[RunBudget] = None,
+    salvage: bool = False,
+) -> CampaignOutcome:
+    """Run every config, each exactly once, using caches then ``jobs`` cores.
+
+    Cache tiers are consulted in the parent only (workers always simulate);
+    every fresh result is written back through :func:`seed_result_caches`,
+    so a second campaign over the same configs executes nothing.
+
+    With ``salvage=True`` a config whose run raises is reported on the
+    outcome's ``failures`` instead of aborting the campaign — sweeps use
+    this so one pathological seed cannot waste the other workers' results.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    stats = CampaignStats(requested=len(configs), jobs=jobs)
+    unique: Dict[str, AnyConfig] = {}
+    for cfg in configs:
+        unique.setdefault(cfg.cache_key(), cfg)
+    stats.unique = len(unique)
+
+    results: Dict[str, Any] = {}
+    failures: List[Tuple[str, str]] = []
+    pending: List[AnyConfig] = []
+    for key, cfg in unique.items():
+        cached = peek_cached(cfg)
+        if cached is not None:
+            results[key] = cached
+            stats.cached += 1
+        else:
+            pending.append(cfg)
+
+    if pending:
+        if jobs == 1:
+            futures = [(cfg, None) for cfg in pending]
+            pool = None
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(budget,),
+            )
+            futures = [(cfg, pool.submit(run_config, cfg)) for cfg in pending]
+        try:
+            for cfg, future in futures:
+                try:
+                    result = run_config(cfg) if future is None else future.result()
+                except Exception as exc:
+                    if not salvage:
+                        raise
+                    failures.append(
+                        (cfg.cache_key(), f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
+                seed_result_caches(cfg, result)
+                results[cfg.cache_key()] = result
+                stats.executed += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    stats.wall_s = time.perf_counter() - start
+    return CampaignOutcome(results=results, stats=stats, failures=failures)
+
+
+# ---------------------------------------------------------------------------
+# Figure -> config registry (what to prefetch for a figure selection)
+# ---------------------------------------------------------------------------
+
+
+def _incast_cfg(variant: str, n_senders: int, scale: str) -> IncastConfig:
+    if scale == "paper":
+        return paper_incast(variant, n_senders)
+    return scaled_incast(variant, n_senders)
+
+
+def _dc_cfg(variant: str, workload: str, scale: str) -> DatacenterConfig:
+    if scale == "paper":
+        return paper_datacenter(variant, workload)
+    return scaled_datacenter(variant, workload)
+
+
+def figure_configs(fig_id: str, scale: str = "scaled") -> List[AnyConfig]:
+    """The simulation configs figure ``fig_id`` consumes (possibly empty).
+
+    Must stay in lockstep with :mod:`repro.experiments.figures` — the
+    campaign prefetches these, then the figure functions replay them from
+    cache.  Listing a config here that a figure does not use wastes a
+    simulation; omitting one merely makes the figure simulate it serially,
+    so drift is a performance bug, never a correctness bug.  Figures 4
+    (fluid model) and 7 (topology structure) run no simulations.
+    """
+    large = 96 if scale == "paper" else SCALED_LARGE_INCAST
+    incasts = {
+        "1": [(v, 16) for v in FIG1_HPCC_VARIANTS + FIG1_SWIFT_VARIANTS],
+        "2": [(v, 16) for v in FIG1_HPCC_VARIANTS],
+        "3": [(v, 16) for v in FIG1_SWIFT_VARIANTS],
+        "5": [(v, n) for n in (16, large) for v in FIG5_HPCC_VARIANTS],
+        "6": [(v, n) for n in (16, large) for v in FIG6_SWIFT_VARIANTS],
+        "8": [(v, 16) for v in ("hpcc", "hpcc-vai-sf")],
+        "9": [(v, 16) for v in ("swift", "swift-vai-sf")],
+    }
+    datacenters = {
+        "10": "hadoop",
+        "12": "hadoop",
+        "11": "websearch+storage",
+        "13": "websearch+storage",
+    }
+    fig_id = str(fig_id)
+    configs: List[AnyConfig] = [
+        _incast_cfg(v, n, scale) for v, n in incasts.get(fig_id, [])
+    ]
+    workload = datacenters.get(fig_id)
+    if workload is not None:
+        configs.extend(_dc_cfg(v, workload, scale) for v in DATACENTER_VARIANTS)
+    return configs
+
+
+def campaign_for_figures(
+    fig_ids: Sequence[str], scale: str = "scaled"
+) -> List[AnyConfig]:
+    """Union of configs for a figure selection, duplicates included.
+
+    ``run_campaign`` deduplicates by content key, so figure pairs sharing
+    simulations (2/3 with 1, 12/13 with 10/11) cost nothing extra.
+    """
+    out: List[AnyConfig] = []
+    for fig_id in fig_ids:
+        out.extend(figure_configs(fig_id, scale))
+    return out

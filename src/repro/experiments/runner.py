@@ -52,6 +52,7 @@ from ..workloads.distributions import ScaledDistribution, get_distribution
 from ..workloads.incast import staggered_incast
 from ..workloads.poisson import generate_poisson_traffic
 from .config import DatacenterConfig, FaultConfig, IncastConfig, red_for_rate
+from .store import get_store
 
 
 class WatchdogExpired(RuntimeError):
@@ -435,20 +436,67 @@ _INCAST_CACHE = LRUCache(maxsize=64)
 _DC_CACHE = LRUCache(maxsize=32)
 
 
-def run_incast_cached(cfg: IncastConfig) -> IncastResult:
-    result = _INCAST_CACHE.get(cfg)
+def _run_cached(cache: LRUCache, run: Callable[[Any], Any], cfg: Any) -> Any:
+    """Memory LRU -> persistent store -> simulate, writing through both.
+
+    Both tiers key on ``cfg.cache_key()`` (the canonical content hash), so a
+    result computed under one spelling of a config hits under any equal
+    spelling, in this process or a later one.
+    """
+    key = cfg.cache_key()
+    result = cache.get(key)
+    if result is not None:
+        return result
+    store = get_store()
+    if store is not None:
+        result = store.get(cfg)
     if result is None:
-        result = run_incast(cfg)
-        _INCAST_CACHE.put(cfg, result)
+        result = run(cfg)
+        if store is not None:
+            store.put(cfg, result)
+    cache.put(key, result)
     return result
+
+
+def peek_cached(cfg: Any) -> Optional[Any]:
+    """The cached result for ``cfg`` if any tier holds it; never simulates.
+
+    A store hit is promoted into the memory LRU so later ``run_*_cached``
+    calls skip the disk read.
+    """
+    cache = _INCAST_CACHE if isinstance(cfg, IncastConfig) else _DC_CACHE
+    key = cfg.cache_key()
+    result = cache.get(key)
+    if result is not None:
+        return result
+    store = get_store()
+    if store is not None:
+        result = store.get(cfg)
+        if result is not None:
+            cache.put(key, result)
+    return result
+
+
+def seed_result_caches(cfg: Any, result: Any) -> None:
+    """Inject an externally computed result (e.g. from a worker process).
+
+    The campaign runner fans simulations out to a process pool; the parent
+    seeds its own LRU and the store with the returned results so figure
+    rendering afterwards is pure cache hits.
+    """
+    cache = _INCAST_CACHE if isinstance(cfg, IncastConfig) else _DC_CACHE
+    cache.put(cfg.cache_key(), result)
+    store = get_store()
+    if store is not None and cfg not in store:
+        store.put(cfg, result)
+
+
+def run_incast_cached(cfg: IncastConfig) -> IncastResult:
+    return _run_cached(_INCAST_CACHE, run_incast, cfg)
 
 
 def run_datacenter_cached(cfg: DatacenterConfig) -> DatacenterResult:
-    result = _DC_CACHE.get(cfg)
-    if result is None:
-        result = run_datacenter(cfg)
-        _DC_CACHE.put(cfg, result)
-    return result
+    return _run_cached(_DC_CACHE, run_datacenter, cfg)
 
 
 def clear_caches() -> None:

@@ -1,0 +1,295 @@
+"""Persistent on-disk result store keyed by config content + code version.
+
+Campaign runs (``repro-experiments --all``, sweeps, CI) re-simulate the same
+configs over and over; a simulation result is a pure function of its config
+dataclass and the simulator code.  This module keys results by exactly those
+two inputs:
+
+* :func:`config_key` — a content hash over a *canonical* rendering of the
+  config dataclass: fields are sorted by name and fields still at their
+  declared default are omitted, so the key survives field reordering and the
+  addition of new defaulted fields.  Nested dataclasses (``FaultConfig``,
+  ``FatTreeParams``) are walked the same way.
+* :func:`code_fingerprint` — a hash over the source text of every ``.py``
+  file in the ``repro`` package.  Any simulator change moves results into a
+  fresh namespace, so a store can never serve results from old physics.
+
+Layout on disk::
+
+    <root>/<fingerprint>/<ConfigClass>-<config_key>.pkl
+
+Stale fingerprints accumulate as code evolves; :meth:`ResultStore.gc`
+removes every namespace but the current one.  All writes are atomic
+(tempfile + rename) so a killed campaign never leaves a torn pickle; a
+corrupt or unreadable entry is treated as a miss and deleted.
+
+The process-wide *active store* (:func:`set_store` / :func:`get_store`) is
+what the runner's ``run_*_cached`` entry points consult between their
+in-memory LRU and an actual simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, is_dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "canonical_config_repr",
+    "config_key",
+    "code_fingerprint",
+    "set_store",
+    "get_store",
+]
+
+
+# ---------------------------------------------------------------------------
+# Canonical config rendering and keys
+# ---------------------------------------------------------------------------
+
+_MISSING = dataclasses.MISSING
+
+
+def _field_default(f: "dataclasses.Field") -> Any:
+    if f.default is not _MISSING:
+        return f.default
+    if f.default_factory is not _MISSING:  # type: ignore[misc]
+        return f.default_factory()  # type: ignore[misc]
+    return _MISSING
+
+
+def canonical_config_repr(obj: Any) -> str:
+    """A stable text rendering of a config value.
+
+    Dataclasses render as ``ClassName(field=value, ...)`` with fields sorted
+    by name and default-valued fields omitted; containers render
+    element-wise; floats use ``repr`` (shortest round-trip form, so distinct
+    values never collide).  Unsupported types raise rather than fall back to
+    ``repr`` — an object whose repr embeds a memory address would silently
+    produce a fresh key per process.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts: List[str] = []
+        for f in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+            if not f.compare:
+                continue
+            value = getattr(obj, f.name)
+            default = _field_default(f)
+            if default is not _MISSING and value == default:
+                continue
+            parts.append(f"{f.name}={canonical_config_repr(value)}")
+        return f"{type(obj).__name__}({', '.join(parts)})"
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, (tuple, list)):
+        inner = ", ".join(canonical_config_repr(v) for v in obj)
+        return f"({inner})"
+    if isinstance(obj, dict):
+        inner = ", ".join(
+            f"{canonical_config_repr(k)}: {canonical_config_repr(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+    raise TypeError(
+        f"cannot canonically render {type(obj).__name__!r} for a cache key"
+    )
+
+
+def config_key(cfg: Any) -> str:
+    """Content hash of a config (20 hex chars of SHA-256)."""
+    text = canonical_config_repr(cfg)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+
+# ---------------------------------------------------------------------------
+# Code-version fingerprint
+# ---------------------------------------------------------------------------
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the ``repro`` package's source text (12 hex chars, cached).
+
+    Walks every ``.py`` file under the installed package directory in sorted
+    relative-path order and hashes ``(path, contents)`` pairs.  Any edit to
+    the simulator — including files a given config never imports — retires
+    all stored results, which errs on the side of never serving stale
+    physics.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            h.update(rel.encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_FINGERPRINT = h.hexdigest()[:12]
+    return _CODE_FINGERPRINT
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store's lifetime in this process."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    evicted_corrupt: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} puts={self.puts} "
+            f"read={self.bytes_read}B written={self.bytes_written}B"
+        )
+
+
+class ResultStore:
+    """Content-addressed pickle store for simulation results.
+
+    ``get``/``put`` key purely on the config object; the caller never names
+    files.  Entries live under a per-code-version namespace directory so a
+    simulator change can never alias old results (see module docstring).
+    """
+
+    def __init__(self, root: os.PathLike, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = StoreStats()
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def namespace(self) -> Path:
+        return self.root / self.fingerprint
+
+    def path_for(self, cfg: Any) -> Path:
+        return self.namespace / f"{type(cfg).__name__}-{config_key(cfg)}.pkl"
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, cfg: Any) -> Optional[Any]:
+        """The stored result for ``cfg``, or None (counts a hit or miss).
+
+        An entry that exists but cannot be unpickled is deleted and treated
+        as a miss — a torn write from a killed process must not poison the
+        campaign forever.
+        """
+        path = self.path_for(cfg)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = pickle.loads(blob)
+        except Exception:
+            self.stats.evicted_corrupt += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(blob)
+        return result
+
+    def put(self, cfg: Any, result: Any) -> Path:
+        """Atomically persist ``result`` under ``cfg``'s key."""
+        path = self.path_for(cfg)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        self.stats.bytes_written += len(blob)
+        return path
+
+    def __contains__(self, cfg: Any) -> bool:
+        return self.path_for(cfg).exists()
+
+    # -- maintenance ------------------------------------------------------
+
+    def entries(self) -> List[Path]:
+        """Entry files in the current namespace, sorted by name."""
+        if not self.namespace.is_dir():
+            return []
+        return sorted(self.namespace.glob("*.pkl"))
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """(files, bytes) across *all* namespaces under the root."""
+        files = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                files += 1
+                total += path.stat().st_size
+        return files, total
+
+    def gc(self) -> Tuple[int, int]:
+        """Delete every namespace except the current one.
+
+        Returns ``(files_removed, bytes_freed)``.  Entries for the current
+        code version are always kept — GC reclaims space without ever
+        forcing a re-simulation of still-valid results.
+        """
+        removed = 0
+        freed = 0
+        if not self.root.is_dir():
+            return 0, 0
+        for child in self.root.iterdir():
+            if not child.is_dir() or child.name == self.fingerprint:
+                continue
+            for path in child.rglob("*"):
+                if path.is_file():
+                    removed += 1
+                    freed += path.stat().st_size
+            shutil.rmtree(child)
+        return removed, freed
+
+    def clear(self) -> None:
+        """Delete the entire store (tests and ``--store-gc --no-store``)."""
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active store
+# ---------------------------------------------------------------------------
+
+_ACTIVE_STORE: Optional[ResultStore] = None
+
+
+def set_store(store: Optional[ResultStore]) -> None:
+    """Install (or clear, with None) the store the cached runners consult."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = store
+
+
+def get_store() -> Optional[ResultStore]:
+    return _ACTIVE_STORE

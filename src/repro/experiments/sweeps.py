@@ -77,11 +77,25 @@ class SweepOutcome(Dict[str, Aggregate]):
 # ---------------------------------------------------------------------------
 
 
+def _prefetch_parallel(configs: Sequence[object], jobs: int) -> None:
+    """Warm the result caches for ``configs`` using ``jobs`` processes.
+
+    Best-effort (``salvage=True``): a config that fails here is simply
+    re-attempted serially by ``salvage_runs``, which owns retry/reporting.
+    """
+    if jobs <= 1:
+        return
+    from .parallel import run_campaign  # local: avoid import cycle at module load
+
+    run_campaign(list(configs), jobs=jobs, salvage=True)
+
+
 def incast_seed_sweep(
     base: IncastConfig,
     seeds: Sequence[int],
     *,
     retries: int = 0,
+    jobs: int = 1,
     run: Callable[[IncastConfig], "object"] = run_incast_cached,
 ) -> SweepOutcome:
     """Run an incast config across seeds; aggregate the figure metrics.
@@ -90,10 +104,13 @@ def incast_seed_sweep(
     max queue (bytes), finish spread (ns), start-finish correlation.  A seed
     whose run raises is retried ``retries`` times then reported on the
     outcome's ``failures``; the aggregates cover the seeds that succeeded.
+    ``jobs > 1`` fans the seed runs across worker processes first (results
+    land in the caches; the serial pass below then only aggregates).
     """
-    successes, failures = salvage_runs(
-        [replace(base, seed=s) for s in seeds], run, retries=retries
-    )
+    configs = [replace(base, seed=s) for s in seeds]
+    if run is run_incast_cached:
+        _prefetch_parallel(configs, jobs)
+    successes, failures = salvage_runs(configs, run, retries=retries)
     results = [r for _, r in successes]
     conv = [
         (r.convergence_ns - r.last_start_ns)
@@ -127,8 +144,14 @@ def compare_variants_across_seeds(
     seeds: Sequence[int],
     *,
     retries: int = 0,
+    jobs: int = 1,
 ) -> Dict[str, SweepOutcome]:
     """Seed-sweep several variants with paired seeds for fair comparison."""
+    if jobs > 1:
+        _prefetch_parallel(
+            [replace(make_config(v), seed=s) for v in variants for s in seeds],
+            jobs,
+        )
     return {
         v: incast_seed_sweep(make_config(v), seeds, retries=retries)
         for v in variants
@@ -147,12 +170,18 @@ def datacenter_seed_sweep(
     long_flow_bytes: float = 100_000.0,
     tail_percentile: float = 90.0,
     retries: int = 0,
+    jobs: int = 1,
     run: Callable[[DatacenterConfig], "object"] = run_datacenter_cached,
 ) -> SweepOutcome:
-    """Run a datacenter config across seeds; aggregate slowdown metrics."""
-    successes, failures = salvage_runs(
-        [replace(base, seed=s) for s in seeds], run, retries=retries
-    )
+    """Run a datacenter config across seeds; aggregate slowdown metrics.
+
+    ``jobs > 1`` fans the seed runs across worker processes first; see
+    :func:`incast_seed_sweep`.
+    """
+    configs = [replace(base, seed=s) for s in seeds]
+    if run is run_datacenter_cached:
+        _prefetch_parallel(configs, jobs)
+    successes, failures = salvage_runs(configs, run, retries=retries)
     results = [r for _, r in successes]
     p50, p99, tail = [], [], []
     for r in results:

@@ -9,14 +9,37 @@ calendar-of-events loop backed by :mod:`heapq`.  Design notes:
   therefore fully deterministic for a given seed.
 * Cancellation is *lazy*: cancelled events stay in the heap, flagged, and are
   discarded when popped.  This keeps ``cancel`` O(1), which matters because
-  pacing timers are rescheduled constantly.
+  pacing timers are rescheduled constantly.  The simulator counts live
+  cancellations exactly and compacts the heap once cancelled entries dominate
+  it, so ``pending_events`` always reports *live* events and a long run
+  cannot accumulate an arbitrarily large graveyard of dead entries.
 * Event callbacks receive no arguments beyond those bound at scheduling time;
   components capture the simulator by reference and query :meth:`Simulator.now`
   when they need the current time.
 
-The loop is intentionally simple (per the "make it work, make it right, then
-profile" workflow): roughly half a million events per second in CPython, which
-sets the experiment scaling recorded in EXPERIMENTS.md.
+Hot-path notes (this loop executes millions of times per experiment):
+
+* :meth:`Simulator.schedule` pushes directly onto the heap — no delegation to
+  :meth:`schedule_at` and no scheduling-into-the-past check, which a
+  non-negative delay makes impossible by construction.
+* :meth:`Simulator.schedule_detached` is the fire-and-forget variant used by
+  the packet datapath: it returns no handle, and the engine recycles the
+  :class:`Event` object through a free list once it has fired.  Only call
+  sites that never keep a reference may use it — that is what makes the
+  reuse safe.
+* :meth:`Simulator.schedule_delivery` is the ordering-preserving primitive
+  behind fused transmission (see :mod:`repro.sim.port`).  A packet delivery
+  historically got its tie-break sequence number at serialization *end*
+  (drawn inside the tx-done event); fusing tx-done away would draw it at
+  serialization *start* and flip the execution order of same-timestamp
+  events — observably, via INT queue-length stamps.  Heap entries therefore
+  carry an explicit *schedule time* as the first tie-break:
+  ``(fire_time, schedule_time, seq, ev)``.  For ordinary events the pair
+  ``(schedule_time, seq)`` sorts identically to ``seq`` alone (sequence
+  numbers are drawn monotonically in virtual time), so their semantics are
+  untouched; a fused delivery is entered with ``schedule_time`` set to the
+  serialization end and the sequence number the vanished tx-done event
+  would have consumed — exactly the key the legacy schedule produced.
 """
 
 from __future__ import annotations
@@ -24,15 +47,34 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+#: Cap on the Event free list used by :meth:`Simulator.schedule_detached`.
+_POOL_MAX = 4096
+
+#: Compaction trigger: sweep the heap once at least this many cancelled
+#: entries exist *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
+
+#: Process-wide executed-event total, across all Simulator instances (the
+#: benchmark harness and ``--profile`` read this to derive events/second).
+_TOTAL_EVENTS_EXECUTED = 0
+
+
+def total_events_executed() -> int:
+    """Events executed by every simulator in this process (profiling aid)."""
+    return _TOTAL_EVENTS_EXECUTED
+
 
 class Event:
     """A scheduled callback.
 
     Users obtain instances from :meth:`Simulator.schedule` and may keep them
     only to call :meth:`cancel`.  All other attributes are engine-internal.
+    An event reference is dead once the event has fired; cancelling a dead
+    reference is a harmless no-op for events obtained from ``schedule``
+    (detached events are never handed out, so they cannot be cancelled).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim", "detached")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
@@ -40,10 +82,16 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim: Optional["Simulator"] = None
+        self.detached = False
 
     def cancel(self) -> None:
         """Mark the event so the engine drops it instead of firing it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self.sim
+            if sim is not None:
+                sim._cancelled += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -71,18 +119,38 @@ class Simulator:
     10.0
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running", "_stopped")
+    __slots__ = (
+        "_heap",
+        "_now",
+        "_seq",
+        "_cur_seq",
+        "_events_executed",
+        "_running",
+        "_stopped",
+        "_cancelled",
+        "_pool",
+    )
 
     def __init__(self) -> None:
-        # Heap entries are (time, seq, Event): the (time, seq) prefix is
-        # unique, so ordering never falls through to the Event object and
+        # Heap entries are (fire_time, schedule_time, seq, Event) — see the
+        # module docstring for why schedule_time participates in ordering.
+        # The numeric prefix is unique (seq never repeats among coexisting
+        # entries), so ordering never falls through to the Event object and
         # comparisons stay in C (a measured ~25% of total runtime otherwise).
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list = []
         self._now: float = 0.0
         self._seq: int = 0
+        # Sequence number of the event currently executing (run loop sets it
+        # before each callback).  _tx_done uses it to key its delivery.
+        self._cur_seq: int = 0
         self._events_executed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        # Live count of cancelled-but-still-heaped entries; maintained exactly
+        # by Event.cancel / the pop paths, consumed by _maybe_compact.
+        self._cancelled: int = 0
+        # Free list of detached Event objects (see schedule_detached).
+        self._pool: list[Event] = []
 
     # -- time ---------------------------------------------------------------
 
@@ -97,7 +165,16 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of *live* (non-cancelled) events still in the heap.
+
+        Lazily-cancelled entries are excluded, so watchdogs and budget
+        accounting built on this number are not inflated by dead timers.
+        """
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including cancelled entries (introspection aid)."""
         return len(self._heap)
 
     # -- scheduling ---------------------------------------------------------
@@ -106,7 +183,85 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` ns after the current time."""
         if delay < 0.0:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Hot path: a non-negative delay cannot land in the past, so skip the
+        # schedule_at validation and push directly.
+        now = self._now
+        time = now + delay
+        seq = self._seq
+        ev = Event(time, seq, fn, args)
+        ev.sim = self
+        heapq.heappush(self._heap, (time, now, seq, ev))
+        self._seq = seq + 1
+        return ev
+
+    def schedule_detached(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget scheduling: no handle, Event object recycled.
+
+        The returned-nothing contract is what makes the recycling safe: the
+        caller cannot retain or cancel the event, so once it has fired the
+        engine is free to reuse the object for a later detached schedule
+        without any risk of a stale reference cancelling the wrong event.
+        The packet datapath (serialization, propagation, monitor resampling)
+        schedules millions of such events per run.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        now = self._now
+        time = now + delay
+        seq = self._seq
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, fn, args)
+            ev.sim = self
+            ev.detached = True
+        heapq.heappush(self._heap, (time, now, seq, ev))
+        self._seq = seq + 1
+
+    def schedule_delivery(
+        self,
+        delay: float,
+        t_end: float,
+        tx_seq: Optional[int],
+        fn: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule a packet delivery, ordered as the legacy schedule would.
+
+        ``t_end`` is the absolute time serialization finishes and ``tx_seq``
+        the sequence number of the transmission-completion event (pass
+        ``None`` from the fused path, which has no such event: a fresh
+        number is drawn — the very number the tx-done would have consumed).
+        The entry sorts at ``(t_end + delay, t_end, tx_seq)``, the exact key
+        a receive scheduled from inside a tx-done event at ``t_end`` gets.
+        The fire time is deliberately computed as ``t_end + delay`` — NOT
+        ``now + (ser + delay)`` — because float addition is not associative
+        and a one-ULP difference reorders the calendar observably.
+        Detached semantics: no handle, Event recycled after firing.
+        """
+        time = t_end + delay
+        if tx_seq is None:
+            tx_seq = self._seq
+            self._seq = tx_seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = tx_seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, tx_seq, fn, args)
+            ev.sim = self
+            ev.detached = True
+        heapq.heappush(self._heap, (time, t_end, tx_seq, ev))
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute virtual time."""
@@ -115,7 +270,8 @@ class Simulator:
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
         ev = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, ev))
+        ev.sim = self
+        heapq.heappush(self._heap, (time, self._now, self._seq, ev))
         self._seq += 1
         return ev
 
@@ -123,6 +279,32 @@ class Simulator:
         """Cancel a previously scheduled event (None is tolerated)."""
         if event is not None:
             event.cancel()
+
+    def _maybe_compact(self) -> None:
+        """Sweep cancelled entries out of the heap once they dominate it.
+
+        Compaction preserves (time, seq) ordering exactly — it only removes
+        entries the run loop would have discarded anyway — so results are
+        unchanged; what changes is that ``pending_events`` readers and the
+        heap itself no longer pay for an unbounded graveyard of dead timers.
+        """
+        if self._cancelled >= _COMPACT_MIN_CANCELLED and (
+            self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._heap if not entry[-1].cancelled]
+        recycled = self._pool
+        if len(recycled) < _POOL_MAX:
+            for entry in self._heap:
+                ev = entry[-1]
+                if ev.cancelled and ev.detached and len(recycled) < _POOL_MAX:
+                    ev.fn = ev.args = None  # drop refs while parked
+                    recycled.append(ev)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled = 0
 
     # -- execution ----------------------------------------------------------
 
@@ -147,6 +329,7 @@ class Simulator:
             If given, stop after executing this many events (safety valve for
             runaway feedback loops in tests).
         """
+        global _TOTAL_EVENTS_EXECUTED
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
@@ -154,19 +337,30 @@ class Simulator:
         executed = 0
         heap = self._heap
         heappop = heapq.heappop
+        pool = self._pool
         try:
             while heap and not self._stopped:
-                t, _seq, ev = heap[0]
+                entry = heap[0]
+                ev = entry[-1]
                 if ev.cancelled:
                     heappop(heap)
+                    self._cancelled -= 1
+                    if ev.detached and len(pool) < _POOL_MAX:
+                        ev.fn = ev.args = None
+                        pool.append(ev)
                     continue
+                t = entry[0]
                 if until is not None and t > until:
                     break
                 heappop(heap)
                 self._now = t
+                self._cur_seq = entry[2]
                 ev.fn(*ev.args)
                 self._events_executed += 1
                 executed += 1
+                if ev.detached and len(pool) < _POOL_MAX:
+                    ev.fn = ev.args = None
+                    pool.append(ev)
                 if max_events is not None and executed >= max_events:
                     break
             if until is not None and not self._stopped and self._now < until:
@@ -174,8 +368,10 @@ class Simulator:
                 # "run for 50 ms" semantics hold for monitors reading now().
                 if not heap or heap[0][0] > until:
                     self._now = until
+            self._maybe_compact()
         finally:
             self._running = False
+            _TOTAL_EVENTS_EXECUTED += executed
 
     def run_until_idle(self, max_events: Optional[int] = None) -> None:
         """Run until no events remain (or ``max_events`` executed)."""
@@ -184,6 +380,11 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if the heap is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+        pool = self._pool
+        while heap and heap[0][-1].cancelled:
+            ev = heapq.heappop(heap)[-1]
+            self._cancelled -= 1
+            if ev.detached and len(pool) < _POOL_MAX:
+                ev.fn = ev.args = None
+                pool.append(ev)
         return heap[0][0] if heap else None

@@ -196,6 +196,10 @@ class LinkFlapInjector(FaultInjector):
             raise ValueError("flap period must exceed the down interval")
 
     def install(self, net: "Network") -> None:
+        # Fused transmission commits delivery at serialization start, which
+        # would let packets survive a flap that should eat them — turn it off
+        # up front so every transition sees the exact two-event datapath.
+        net.disable_port_fusion()
         t = self.down_at_ns
         cycles = self.count if self.period_ns is not None else 1
         for _ in range(cycles):
@@ -218,6 +222,7 @@ class SwitchBlackoutInjector(FaultInjector):
             raise ValueError("down_for_ns must be positive")
 
     def install(self, net: "Network") -> None:
+        net.disable_port_fusion()  # same reasoning as LinkFlapInjector
         net.sim.schedule_at(self.down_at_ns, net.set_switch_state, self.switch_id, False)
         net.sim.schedule_at(
             self.down_at_ns + self.down_for_ns, net.set_switch_state, self.switch_id, True

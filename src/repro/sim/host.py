@@ -78,6 +78,14 @@ class Host(Node):
         self.rto_min_ns = DEFAULT_RTO_MIN_NS
         self.max_rto_backoff = DEFAULT_MAX_RTO_BACKOFF
         self.corrupt_discards = 0
+        # Reusable per-host AckContext: one is filled per ACK and handed to
+        # cc.on_ack, which must not retain it (none do — they copy scalars
+        # and at most keep the int_records list).  Saves an allocation on
+        # every ACK, the single most frequent host-side object.
+        self._ack_ctx = AckContext(
+            now=0.0, ack_seq=0, newly_acked=0, ece=False,
+            int_records=None, rtt=0.0, hops=0,
+        )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -283,15 +291,14 @@ class Host(Node):
             # Forward progress: reset the backoff and restart the RTO clock.
             state.rto_backoff = 1.0
             self._arm_rto(state, reset=True)
-        ctx = AckContext(
-            now=now,
-            ack_seq=pkt.seq,
-            newly_acked=newly,
-            ece=pkt.ece,
-            int_records=pkt.int_records,
-            rtt=now - pkt.send_ts,
-            hops=pkt.hops,
-        )
+        ctx = self._ack_ctx
+        ctx.now = now
+        ctx.ack_seq = pkt.seq
+        ctx.newly_acked = newly
+        ctx.ece = pkt.ece
+        ctx.int_records = pkt.int_records
+        ctx.rtt = now - pkt.send_ts
+        ctx.hops = pkt.hops
         state.cc.on_ack(ctx)
         if state.acked >= flow.size and not flow.completed:
             flow.finish_time = now

@@ -210,6 +210,9 @@ class Network:
         port_ba = self.nodes[b].port_to.get(a)
         if port_ab is None or port_ba is None:
             raise ValueError(f"no link between nodes {a} and {b}")
+        # Link state is now dynamic: fused transmission (which commits
+        # delivery at serialization start) must not be used from here on.
+        self.disable_port_fusion()
         key = (min(a, b), max(a, b))
         if up:
             self._down_links.discard(key)
@@ -238,6 +241,18 @@ class Network:
         """Enable go-back-N retransmission on every host (see ``Host``)."""
         for host in self.hosts:
             host.enable_loss_recovery(**kwargs)
+
+    def disable_port_fusion(self) -> None:
+        """Force every port onto the two-event transmit path.
+
+        Called automatically the moment link-state faults become possible
+        (:meth:`set_link_state`, link/switch fault injectors): the fused path
+        decides delivery at serialization start, which is only equivalent
+        when links cannot die mid-serialization.
+        """
+        for node in self.nodes:
+            for port in node.ports:
+                port.allow_fusion = False
 
     # -- path utilities -----------------------------------------------------------
 

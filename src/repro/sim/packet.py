@@ -231,6 +231,11 @@ class AckContext:
     This is the boundary between the substrate (:mod:`repro.sim`) and the
     protocols (:mod:`repro.cc`): host receive logic fills one of these and
     hands it to :meth:`repro.cc.base.CongestionControl.on_ack`.
+
+    The context is only valid for the duration of the ``on_ack`` call — the
+    host reuses a single instance per ACK to avoid an allocation on the
+    hottest receive path.  Protocols may keep the ``int_records`` list (HPCC
+    does, across one RTT) but must copy any scalar they need later.
     """
 
     __slots__ = (

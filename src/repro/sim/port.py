@@ -14,6 +14,22 @@ sending side.  A port bundles:
 
 The drain loop is the hottest code in the simulator; it avoids allocation and
 keeps bookkeeping to integer/float adds.
+
+Fused transmission (the big event-count win): a packet normally costs two
+events — ``_tx_done`` at serialization end (free the transmitter, continue
+draining) and the peer ``receive`` one propagation later.  When the packet
+was *locally originated* (no ingress port, so no forwarding or PFC-release
+bookkeeping is owed at serialization end) and the link is healthy, the port
+instead schedules a single detached delivery event at ``serialization +
+propagation`` and models the transmitter occupancy with a ``busy_until``
+timestamp.  Anyone who tries to drain before ``busy_until`` arms a wake
+timer at exactly that instant, so packet spacing — and therefore every
+simulation output — is identical to the two-event schedule; host NICs (every
+data packet and every ACK in the network starts at one) simply stop paying
+the second event.  Fusion turns itself off (``allow_fusion``) as soon as
+link-state faults enter the picture, because delivery of a fused packet is
+committed at serialization *start*, which would bypass the "packets
+finishing serialization on a down link are lost" rule.
 """
 
 from __future__ import annotations
@@ -86,7 +102,8 @@ class Port:
         "queue",
         "queue_bytes",
         "tx_bytes",
-        "busy",
+        "busy_until",
+        "_tx_pending",
         "drops",
         "max_queue_bytes",
         "red",
@@ -99,6 +116,7 @@ class Port:
         "fault_hook",
         "link_up",
         "fault_drops",
+        "allow_fusion",
     )
 
     def __init__(
@@ -123,7 +141,15 @@ class Port:
         self.queue: deque = deque()  # entries: (Packet, ingress Port | None)
         self.queue_bytes = 0.0
         self.tx_bytes = 0.0
-        self.busy = False
+        # Transmitter occupancy.  The legacy (two-event) path is governed by
+        # ``_tx_pending`` — busy until its ``_tx_done`` event *executes*, so
+        # same-timestamp events that run before it still see the port busy,
+        # exactly as the pre-fusion flag did.  The fused path has no tx-done
+        # event, so occupancy is the timestamp ``busy_until`` (inclusive: the
+        # wake event armed at that instant plays the role of ``_tx_done`` and
+        # resets it to -1).
+        self.busy_until = -1.0
+        self._tx_pending = False
         self.drops = 0
         self.max_queue_bytes = max_queue_bytes
         self.red = red
@@ -138,6 +164,7 @@ class Port:
         self.fault_hook = None
         self.link_up = True
         self.fault_drops = 0
+        self.allow_fusion = True
 
     # -- identity -----------------------------------------------------------
 
@@ -145,6 +172,11 @@ class Port:
     def name(self) -> str:
         peer = self.peer_node.name if self.peer_node is not None else "?"
         return f"{self.owner.name}.p{self.index}->{peer}"
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is serializing on the transmitter."""
+        return self._tx_pending or self.sim.now() <= self.busy_until
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Port {self.name} q={self.queue_bytes:.0f}B busy={self.busy}>"
@@ -204,36 +236,75 @@ class Port:
 
     def try_drain(self) -> None:
         """Start transmitting the head-of-line packet if possible."""
-        if self.busy or not self.queue:
+        if not self.queue:
             return
-        now = self.sim.now()
+        sim = self.sim
+        now = sim._now
+        if self._tx_pending:
+            # Legacy path in flight: its _tx_done event will drain.
+            return
+        if now <= self.busy_until:
+            # Fused transmission in flight: there is no tx-done event coming,
+            # so arm a wake at the exact instant the transmitter frees up.
+            self._schedule_wake(self.busy_until)
+            return
         if self.pfc_egress.is_paused(now):
             self._schedule_wake(self.pfc_egress.paused_until)
             return
         pkt, ingress = self.queue.popleft()
-        self.queue_bytes -= pkt.size
+        size = pkt.size
+        self.queue_bytes -= size
         if self.stamp_int and pkt.kind == DATA and pkt.int_records is not None:
             pkt.int_records.append(
                 HopRecord(
                     qlen=self.queue_bytes,
-                    tx_bytes=self.tx_bytes + pkt.size,
+                    tx_bytes=self.tx_bytes + size,
                     ts=now,
                     rate_bps=self.spec.rate_bps,
                 )
             )
             pkt.hops += 1
-        self.busy = True
-        self.sim.schedule(self.spec.serialization_ns(pkt.size), self._tx_done, pkt, ingress)
+        ser = self.spec.serialization_ns(size)
+        peer = self.peer_node
+        if (
+            ingress is None
+            and not self.queue
+            and self.allow_fusion
+            and self.link_up
+            and peer is not None
+        ):
+            # Fused path: single delivery event, occupancy via busy_until.
+            # Only taken for locally-originated packets (no forwarding or
+            # PFC-release bookkeeping owed at serialization end) with an
+            # empty queue behind them (nobody needs a tx-done to keep
+            # draining; a later enqueue arms a wake at busy_until instead).
+            # tx accounting moves to serialization start — the counter is
+            # cumulative, only intra-packet sampling can see the shift.
+            # schedule_delivery keys the event to serialization end so its
+            # execution order matches the legacy two-event schedule exactly.
+            self.busy_until = now + ser
+            self.tx_bytes += size
+            sim.schedule_delivery(
+                self.spec.prop_delay_ns, self.busy_until, None,
+                peer.receive, pkt, self.peer_port,
+            )
+        else:
+            self._tx_pending = True
+            sim.schedule_detached(ser, self._tx_done, pkt, ingress)
 
     def _tx_done(self, pkt: Packet, ingress: Optional["Port"]) -> None:
-        self.busy = False
+        self._tx_pending = False
         self.tx_bytes += pkt.size
         if ingress is not None:
             self.owner.on_forwarded(pkt, ingress)
         if self.peer_node is not None:
             if self.link_up:
-                self.sim.schedule(
-                    self.spec.prop_delay_ns, self.peer_node.receive, pkt, self.peer_port
+                # Keyed by this event's own (time, seq) so fused and legacy
+                # deliveries interleave identically (see schedule_delivery).
+                sim = self.sim
+                sim.schedule_delivery(
+                    self.spec.prop_delay_ns, sim._now, sim._cur_seq,
+                    self.peer_node.receive, pkt, self.peer_port,
                 )
             else:
                 # Link is down: the queue keeps draining (carrier loss), every
@@ -251,6 +322,12 @@ class Port:
 
     def _wake(self) -> None:
         self._wake_event = None
+        # This wake is the fused path's stand-in for _tx_done: if the fused
+        # serialization has completed (<= because the wake fires at exactly
+        # busy_until), free the transmitter.  The guard protects against a
+        # stale same-timestamp wake firing after a new transmission started.
+        if self.sim._now >= self.busy_until:
+            self.busy_until = -1.0
         self.try_drain()
 
     # -- PFC ---------------------------------------------------------------

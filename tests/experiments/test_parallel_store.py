@@ -1,0 +1,168 @@
+"""Campaign-layer tests: parallel execution, store integration, determinism.
+
+The load-bearing guarantee: a simulation result is identical whether the
+config runs serially in-process, in a pool worker, or is replayed from the
+persistent store — so the campaign layer can be used freely without ever
+changing the science.
+"""
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.config import scaled_incast
+from repro.experiments.figures import ALL_FIGURES, fig8
+from repro.experiments.parallel import (
+    campaign_for_figures,
+    figure_configs,
+    run_campaign,
+    run_config,
+)
+from repro.experiments.store import ResultStore, set_store
+from repro.experiments.sweeps import incast_seed_sweep
+from repro.sim import engine
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    """Every test starts and ends with cold caches and no active store."""
+    runner.clear_caches()
+    set_store(None)
+    yield
+    runner.clear_caches()
+    set_store(None)
+
+
+def _summary_bytes(result) -> bytes:
+    """A byte-exact digest of everything the figures read from a result."""
+    return pickle.dumps(
+        (
+            result.jain_times_ns.tobytes(),
+            result.jain_values.tobytes(),
+            result.queue_times_ns.tobytes(),
+            result.queue_values_bytes.tobytes(),
+            sorted((f.flow_id, f.start_time, f.finish_time) for f in result.flows),
+            result.convergence_ns,
+        )
+    )
+
+
+CFG = scaled_incast("swift", 4)
+
+
+def test_serial_pool_and_store_hit_are_byte_identical(tmp_path):
+    serial = _summary_bytes(run_config(CFG))
+
+    store = ResultStore(tmp_path)
+    set_store(store)
+    pooled = run_campaign([CFG], jobs=2)
+    assert pooled.stats.executed == 1
+    assert _summary_bytes(pooled.result_for(CFG)) == serial
+
+    runner.clear_caches()  # drop the LRU so the next read must hit the disk
+    replayed = run_campaign([CFG], jobs=2)
+    assert replayed.stats.executed == 0 and replayed.stats.cached == 1
+    assert _summary_bytes(replayed.result_for(CFG)) == serial
+    assert store.stats.hits == 1
+
+
+def test_campaign_dedups_by_content_key():
+    configs = [CFG, scaled_incast("swift", 4), scaled_incast("hpcc", 4)]
+    outcome = run_campaign(configs, jobs=1)
+    assert outcome.stats.requested == 3
+    assert outcome.stats.unique == 2
+    assert outcome.stats.executed == 2
+    assert len(outcome.results) == 2
+
+
+def test_second_campaign_executes_nothing():
+    run_campaign([CFG], jobs=1)
+    outcome = run_campaign([CFG], jobs=1)
+    assert outcome.stats.executed == 0 and outcome.stats.cached == 1
+
+
+def test_warm_store_across_processes_simulates_nothing(tmp_path):
+    """A fresh process (cold LRU) with a warm store re-runs zero sims."""
+    set_store(ResultStore(tmp_path))
+    run_campaign([CFG], jobs=1)
+    runner.clear_caches()  # simulate a new process: memory gone, disk warm
+    before = engine.total_events_executed()
+    outcome = run_campaign([CFG], jobs=1)
+    assert outcome.stats.executed == 0
+    assert engine.total_events_executed() == before
+
+
+@dataclass(frozen=True)
+class _NotRunnable:
+    x: int = 0
+
+    def cache_key(self) -> str:
+        return f"not-runnable-{self.x}"
+
+
+def test_salvage_reports_failures_instead_of_raising():
+    outcome = run_campaign([_NotRunnable(), CFG], jobs=1, salvage=True)
+    assert len(outcome.failures) == 1
+    key, error = outcome.failures[0]
+    assert key == "not-runnable-0" and "TypeError" in error
+    assert outcome.stats.executed == 1  # the good config still ran
+
+
+def test_without_salvage_a_failure_raises():
+    with pytest.raises(TypeError):
+        run_campaign([_NotRunnable()], jobs=1)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        run_campaign([CFG], jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Figure -> config registry
+# ---------------------------------------------------------------------------
+
+
+def test_every_figure_has_a_config_entry():
+    for fig_id in ALL_FIGURES:
+        configs = figure_configs(fig_id)
+        assert isinstance(configs, list)
+        for cfg in configs:
+            assert hasattr(cfg, "cache_key")
+    # Figures 4 (fluid model) and 7 (topology) run no simulations.
+    assert figure_configs("4") == [] and figure_configs("7") == []
+    # Paper scale swaps presets, not shapes.
+    assert len(figure_configs("10", "paper")) == len(figure_configs("10"))
+
+
+def test_campaign_prefetch_fully_covers_fig8():
+    run_campaign(figure_configs("8"), jobs=1)
+    before = engine.total_events_executed()
+    result = fig8(scale="scaled")
+    assert engine.total_events_executed() == before  # pure cache hits
+    assert set(result.tables) == {"hpcc", "hpcc-vai-sf"}
+
+
+def test_figure_pairs_share_simulations():
+    union = campaign_for_figures(["1", "2", "3"])
+    outcome = run_campaign(union, jobs=1)
+    # figs 2 and 3 are subsets of fig 1's six incast runs
+    assert outcome.stats.unique == 6
+    assert outcome.stats.requested == 12
+
+
+# ---------------------------------------------------------------------------
+# Sweeps fan out through the same cache
+# ---------------------------------------------------------------------------
+
+
+def test_seed_sweep_with_jobs_matches_serial():
+    seeds = [1, 2]
+    serial = incast_seed_sweep(CFG, seeds)
+    runner.clear_caches()
+    parallel = incast_seed_sweep(CFG, seeds, jobs=2)
+    assert serial.keys() == parallel.keys()
+    for metric in serial:
+        assert serial[metric] == parallel[metric]

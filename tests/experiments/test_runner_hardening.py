@@ -88,10 +88,11 @@ class TestLRUCache:
             base = tiny_incast()
             first = with_seed(base, 1000)
             run_incast_cached(first)
-            assert first in runner._INCAST_CACHE
+            # The LRU keys on the content hash, shared with the disk store.
+            assert first.cache_key() in runner._INCAST_CACHE
             for s in range(1001, 1001 + runner._INCAST_CACHE.maxsize):
-                runner._INCAST_CACHE.put(with_seed(base, s), object())
-            assert first not in runner._INCAST_CACHE
+                runner._INCAST_CACHE.put(with_seed(base, s).cache_key(), object())
+            assert first.cache_key() not in runner._INCAST_CACHE
             assert len(runner._INCAST_CACHE) == runner._INCAST_CACHE.maxsize
         finally:
             clear_caches()

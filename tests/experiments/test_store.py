@@ -1,0 +1,156 @@
+"""Result-store unit tests: canonical keys, roundtrip, corruption, GC."""
+
+import dataclasses
+from dataclasses import make_dataclass
+
+import pytest
+
+from repro.experiments.config import (
+    FaultConfig,
+    scaled_datacenter,
+    scaled_incast,
+)
+from repro.experiments.store import (
+    ResultStore,
+    canonical_config_repr,
+    code_fingerprint,
+    config_key,
+)
+
+
+# ---------------------------------------------------------------------------
+# Canonical keys
+# ---------------------------------------------------------------------------
+
+
+class TestConfigKey:
+    def test_key_is_stable_across_field_order(self):
+        a = make_dataclass("Cfg", [("a", int, 1), ("b", str, "x")])(a=5)
+        b = make_dataclass("Cfg", [("b", str, "x"), ("a", int, 1)])(a=5)
+        assert config_key(a) == config_key(b)
+
+    def test_key_survives_adding_a_defaulted_field(self):
+        old = make_dataclass("Cfg", [("a", int, 1)])(a=5)
+        new = make_dataclass("Cfg", [("a", int, 1), ("extra", int, 0)])(a=5)
+        assert config_key(old) == config_key(new)
+
+    def test_explicit_default_equals_implicit_default(self):
+        cfg = scaled_incast("swift", 4)
+        assert config_key(dataclasses.replace(cfg, seed=cfg.seed)) == config_key(cfg)
+
+    def test_non_default_value_changes_key(self):
+        cfg = scaled_incast("swift", 4)
+        assert config_key(dataclasses.replace(cfg, seed=99)) != config_key(cfg)
+
+    def test_class_name_is_part_of_the_key(self):
+        a = make_dataclass("CfgA", [("a", int, 1)])(a=5)
+        b = make_dataclass("CfgB", [("a", int, 1)])(a=5)
+        assert config_key(a) != config_key(b)
+
+    def test_nested_fault_config_changes_key(self):
+        cfg = scaled_incast("swift", 4)
+        faulty = dataclasses.replace(cfg, faults=FaultConfig(drop_rate=0.01))
+        assert config_key(faulty) != config_key(cfg)
+        # ...and nested fields at their defaults are canonicalized too.
+        verbose = dataclasses.replace(
+            cfg, faults=FaultConfig(drop_rate=0.01, target="bottleneck")
+        )
+        assert config_key(verbose) == config_key(faulty)
+
+    def test_cache_key_method_agrees_with_config_key(self):
+        for cfg in (
+            scaled_incast("hpcc", 8),
+            scaled_datacenter("swift"),
+            FaultConfig(drop_rate=0.5),
+        ):
+            assert cfg.cache_key() == config_key(cfg)
+
+    def test_distinct_variants_and_floats_get_distinct_keys(self):
+        keys = {
+            config_key(scaled_incast(v, n))
+            for v in ("hpcc", "swift")
+            for n in (4, 16)
+        }
+        assert len(keys) == 4
+        a = dataclasses.replace(scaled_incast("hpcc"), batch_interval_ns=20000.0)
+        b = dataclasses.replace(scaled_incast("hpcc"), batch_interval_ns=20000.5)
+        assert config_key(a) != config_key(b)
+
+    def test_unsupported_type_raises_instead_of_guessing(self):
+        with pytest.raises(TypeError):
+            canonical_config_repr(object())
+
+    def test_canonical_repr_renders_containers(self):
+        assert canonical_config_repr((1, "x", None)) == "(1, 'x', None)"
+        assert canonical_config_repr({"b": 2, "a": 1}) == "{'a': 1, 'b': 2}"
+
+
+def test_code_fingerprint_is_short_hex_and_cached():
+    fp = code_fingerprint()
+    assert len(fp) == 12
+    int(fp, 16)  # valid hex
+    assert code_fingerprint() is fp  # cached
+
+
+# ---------------------------------------------------------------------------
+# Store behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        assert store.get(cfg) is None
+        assert store.stats.misses == 1
+        payload = {"jain": [1.0, 0.5], "flows": 4}
+        path = store.put(cfg, payload)
+        assert path.parent.name == store.fingerprint
+        assert cfg in store
+        assert store.get(cfg) == payload
+        assert store.stats.hits == 1 and store.stats.puts == 1
+        assert store.stats.bytes_written > 0 and store.stats.bytes_read > 0
+
+    def test_different_configs_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(scaled_incast("swift", 4), "a")
+        store.put(scaled_incast("swift", 8), "b")
+        assert store.get(scaled_incast("swift", 4)) == "a"
+        assert store.get(scaled_incast("swift", 8)) == "b"
+        assert len(store.entries()) == 2
+
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        store.put(cfg, "fine")
+        store.path_for(cfg).write_bytes(b"not a pickle")
+        assert store.get(cfg) is None
+        assert store.stats.evicted_corrupt == 1
+        assert not store.path_for(cfg).exists()
+
+    def test_gc_removes_only_stale_namespaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        store.put(cfg, "current")
+        stale = tmp_path / "0123456789ab"
+        stale.mkdir()
+        (stale / "IncastConfig-deadbeef.pkl").write_bytes(b"old physics")
+        files, total = store.disk_usage()
+        assert files == 2
+        removed, freed = store.gc()
+        assert removed == 1 and freed > 0
+        assert not stale.exists()
+        assert store.get(cfg) == "current"
+
+    def test_code_version_namespaces_results(self, tmp_path):
+        cfg = scaled_incast("swift", 4)
+        old = ResultStore(tmp_path, fingerprint="aaaaaaaaaaaa")
+        old.put(cfg, "old physics")
+        new = ResultStore(tmp_path, fingerprint="bbbbbbbbbbbb")
+        assert new.get(cfg) is None  # never served across code versions
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(scaled_incast("swift", 4), "x")
+        store.clear()
+        assert store.disk_usage() == (0, 0)

@@ -1,0 +1,129 @@
+"""Engine hot-path tests: lazy-cancel accounting, compaction, pooling,
+and the ordering contract of ``schedule_delivery``."""
+
+from repro.sim.engine import Simulator
+
+
+def _noop():
+    pass
+
+
+class TestCancelledAccounting:
+    def test_peek_time_skips_cancelled_head(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, _noop)
+        sim.schedule(2.0, _noop)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+        assert sim.pending_events == 1
+
+    def test_cancelled_events_do_not_inflate_pending(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0 + i, _noop) for i in range(100)]
+        for ev in events[:90]:
+            ev.cancel()
+        assert sim.pending_events == 10
+        assert sim.heap_size == 100  # graveyard still heaped (lazy cancel)
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, _noop)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events == 0
+
+    def test_compaction_sweeps_a_dominating_graveyard(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(100.0 + i, fired.append, i)
+        dead = [sim.schedule(200.0 + i, _noop) for i in range(200)]
+        for ev in dead:
+            ev.cancel()
+        assert sim.heap_size == 210 and sim.pending_events == 10
+        sim.run(until=1.0)  # executes nothing, but triggers the sweep
+        assert sim.heap_size == 10 and sim.pending_events == 10
+        sim.run()
+        assert fired == list(range(10))  # live events unharmed, in order
+
+    def test_small_graveyards_are_left_alone(self):
+        # Below the threshold, compaction would cost more than it saves.
+        sim = Simulator()
+        sim.schedule(100.0, _noop)
+        dead = [sim.schedule(200.0 + i, _noop) for i in range(10)]
+        for ev in dead:
+            ev.cancel()
+        sim.run(until=1.0)
+        assert sim.heap_size == 11  # untouched
+        assert sim.pending_events == 1
+
+
+class TestDetachedPooling:
+    def test_detached_events_are_recycled(self):
+        sim = Simulator()
+        for i in range(50):
+            sim.schedule_detached(float(i), _noop)
+        sim.run()
+        assert len(sim._pool) == 50
+        sim.schedule_detached(1.0, _noop)
+        assert len(sim._pool) == 49  # reused, not reallocated
+
+    def test_recycled_events_fire_with_fresh_payload(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_detached(1.0, out.append, "a")
+        sim.run()
+        sim.schedule_detached(1.0, out.append, "b")
+        sim.run()
+        assert out == ["a", "b"]
+
+    def test_cancelled_detached_events_return_to_the_pool(self):
+        sim = Simulator()
+        sim.schedule_detached(5.0, _noop)
+        sim.run()  # event fires and parks in the pool
+        sim.schedule_detached(1.0, _noop)  # reuses the parked object
+        sim.schedule(2.0, _noop)
+        sim.run()
+        assert len(sim._pool) == 1
+
+
+class TestScheduleDelivery:
+    def test_fire_time_is_exactly_t_end_plus_delay(self):
+        # Float addition is not associative; the delivery must compute
+        # t_end + delay (not now + (ser + delay)) to land on the same ULP
+        # as a receive scheduled from inside a tx-done event at t_end.
+        sim = Simulator()
+        t_end = 83.84 + 1000.0
+        sim.schedule_delivery(83.84, t_end, None, _noop)
+        assert sim.peek_time() == t_end + 83.84
+
+    def test_orders_as_if_scheduled_at_t_end(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10.0, order.append, "early-sched")
+        sim.schedule_delivery(5.0, 5.0, None, order.append, "delivery")
+        sim.schedule(10.0, order.append, "late-sched")
+        sim.run()
+        # Same fire time: events scheduled at t=0 precede one entered with
+        # schedule-time 5, regardless of push order.
+        assert order == ["early-sched", "late-sched", "delivery"]
+
+    def test_tx_seq_orders_deliveries_within_a_moment(self):
+        # Two transmissions end at the same t_end; their deliveries fire at
+        # the same instant and must preserve transmission order (tx_seq),
+        # not push order.
+        sim = Simulator()
+        order = []
+        sim.schedule_delivery(5.0, 5.0, 7, order.append, "second")
+        sim.schedule_delivery(5.0, 5.0, 3, order.append, "first")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_fresh_seq_is_drawn_when_tx_seq_is_none(self):
+        # The fused path has no tx-done event; schedule_delivery consumes
+        # the sequence number that event would have drawn, keeping later
+        # schedules ordered after it.
+        sim = Simulator()
+        sim.schedule_delivery(1.0, 0.0, None, _noop)
+        ev = sim.schedule(1.0, _noop)
+        assert ev.seq == 1

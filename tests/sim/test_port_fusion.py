@@ -1,0 +1,81 @@
+"""Event-fusion tests: fused and two-event transmit paths are equivalent.
+
+The port fuses serialization + propagation into one delivery event for
+locally-originated packets on healthy links.  That is purely an event-count
+optimization — simulation outputs must be byte-identical with fusion
+disabled — and it must switch itself off whenever link-state faults could
+invalidate a delivery that was committed at serialization start.
+"""
+
+import pytest
+
+from repro.experiments.config import scaled_incast
+from repro.experiments.runner import run_incast
+from repro.sim.port import Port
+from repro.topology.star import build_star
+
+
+def _run(cfg, fusion: bool):
+    """Run an incast with fusion globally allowed or globally disabled."""
+    if fusion:
+        return run_incast(cfg)
+    orig = Port.__init__
+
+    def patched(self, *args, **kwargs):
+        orig(self, *args, **kwargs)
+        self.allow_fusion = False
+
+    Port.__init__ = patched
+    try:
+        return run_incast(cfg)
+    finally:
+        Port.__init__ = orig
+
+
+def _signature(result):
+    return (
+        result.jain_times_ns.tobytes(),
+        result.jain_values.tobytes(),
+        result.queue_times_ns.tobytes(),
+        result.queue_values_bytes.tobytes(),
+        sorted((f.flow_id, f.start_time, f.finish_time) for f in result.flows),
+        result.convergence_ns,
+    )
+
+
+@pytest.mark.parametrize("variant", ["swift", "hpcc"])
+def test_fused_output_identical_to_two_event_path(variant):
+    # hpcc matters especially: its INT fields sample queue length at switch
+    # dequeue, so any divergence in event order or float timestamps between
+    # the paths shows up in the congestion signal immediately.
+    cfg = scaled_incast(variant, 8)
+    fused = _run(cfg, fusion=True)
+    legacy = _run(cfg, fusion=False)
+    assert fused.all_completed and legacy.all_completed
+    assert _signature(fused) == _signature(legacy)
+
+
+def test_fusion_executes_fewer_events():
+    cfg = scaled_incast("swift", 8)
+    fused = _run(cfg, fusion=True)
+    legacy = _run(cfg, fusion=False)
+    assert fused.events_executed < legacy.events_executed
+
+
+def test_link_state_change_disables_fusion_everywhere():
+    topo = build_star(2)
+    net = topo.network
+    ports = [p for node in net.nodes for p in node.ports]
+    assert all(p.allow_fusion for p in ports)
+    host = topo.hosts[0]
+    peer = host.ports[0].peer_node
+    net.set_link_state(host.node_id, peer.node_id, False)
+    assert not any(p.allow_fusion for p in ports)
+
+
+def test_disable_port_fusion_is_idempotent():
+    topo = build_star(2)
+    net = topo.network
+    net.disable_port_fusion()
+    net.disable_port_fusion()
+    assert not any(p.allow_fusion for n in net.nodes for p in n.ports)
