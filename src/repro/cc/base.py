@@ -93,6 +93,11 @@ class CongestionControl(ABC):
         """The sender's next unsent sequence number (0 before binding)."""
         return self._sender.next_seq if self._sender is not None else 0
 
+    @property
+    def flow_id(self) -> int:
+        """The bound flow's id (-1 before binding; used as a trace label)."""
+        return self._sender.flow.flow_id if self._sender is not None else -1
+
     def on_flow_start(self, now: float) -> None:
         """Called when the flow begins transmitting (default: nothing)."""
 

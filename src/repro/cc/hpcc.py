@@ -37,6 +37,8 @@ from typing import List, Optional
 
 from ..core.sampling_frequency import SamplingFrequency
 from ..core.variable_ai import VariableAI, VariableAIConfig
+from ..obs import registry as obs_registry
+from ..obs import tracer as obs_tracer
 from ..sim.packet import AckContext, HopRecord
 from ..units import mbps
 from .base import CCEnv, CongestionControl
@@ -178,8 +180,23 @@ class HpccCC(CongestionControl):
                     self.reference_decreases += 1
                     if self.sf is not None:
                         self._sf_credit = False
+                    reg = obs_registry.STATS
+                    if reg is not None:
+                        reg.counter("cc.hpcc.reference_decreases").inc()
+                    tr = obs_tracer.TRACER
+                    if tr is not None:
+                        tr.instant(
+                            f"hpcc md flow {self.flow_id}",
+                            ctx.now,
+                            cat="cc",
+                            tid=self.flow_id,
+                            args={"norm": norm, "ref_window": self.reference_window},
+                        )
                 else:
                     self.reference_increases += 1
+                    reg = obs_registry.STATS
+                    if reg is not None:
+                        reg.counter("cc.hpcc.reference_increases").inc()
         else:
             update_ref = rtt_boundary
             w_ai = self._current_ai_bytes(spend=update_ref)
@@ -188,6 +205,9 @@ class HpccCC(CongestionControl):
                 self.inc_stage += 1
                 self.reference_window = self._clamp_window(w)
                 self.reference_increases += 1
+                reg = obs_registry.STATS
+                if reg is not None:
+                    reg.counter("cc.hpcc.reference_increases").inc()
 
         self.window_bytes = self._clamp_window(w)
         self.pacing_rate_bps = self.window_bytes * 8.0 / self.env.base_rtt_ns * 1e9

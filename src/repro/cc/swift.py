@@ -44,6 +44,8 @@ from typing import Optional
 
 from ..core.sampling_frequency import SamplingFrequency
 from ..core.variable_ai import VariableAI, VariableAIConfig
+from ..obs import registry as obs_registry
+from ..obs import tracer as obs_tracer
 from ..sim.packet import AckContext
 from ..units import mbps, us
 from .base import CCEnv, CongestionControl
@@ -201,6 +203,7 @@ class SwiftCC(CongestionControl):
                     self.reference_cwnd = self._clamp_window(self.cwnd)
                     self.last_decrease_time = ctx.now
                     self.decreases += 1
+                    self._record_decrease(ctx.now, mdf)
                     self._spend_vai()
                 self._sf_credit = False
         else:
@@ -211,8 +214,24 @@ class SwiftCC(CongestionControl):
                     self.cwnd *= mdf
                     self.last_decrease_time = ctx.now
                     self.decreases += 1
+                    self._record_decrease(ctx.now, mdf)
                     self._spend_vai()
                 self._sf_credit = False
+
+    def _record_decrease(self, now: float, mdf: float) -> None:
+        """Observability for one taken multiplicative decrease."""
+        reg = obs_registry.STATS
+        if reg is not None:
+            reg.counter("cc.swift.decreases").inc()
+        tr = obs_tracer.TRACER
+        if tr is not None:
+            tr.instant(
+                f"swift md flow {self.flow_id}",
+                now,
+                cat="cc",
+                tid=self.flow_id,
+                args={"mdf": mdf, "cwnd": self.cwnd},
+            )
 
     def _end_rtt(self, ctx: AckContext) -> None:
         self.last_rtt_seq = max(self.snd_nxt, ctx.ack_seq)

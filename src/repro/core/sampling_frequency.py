@@ -16,6 +16,8 @@ Sec. V-B) live in the protocol implementations.
 
 from __future__ import annotations
 
+from ..obs import registry as obs_registry
+
 
 class SamplingFrequency:
     """Counts ACKs and grants a decrease every ``interval_acks`` of them."""
@@ -37,6 +39,9 @@ class SamplingFrequency:
         if self._count >= self.interval_acks:
             self._count = 0
             self.decreases_granted += 1
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("sf.decreases_granted").inc()
             return True
         return False
 

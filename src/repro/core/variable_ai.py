@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import registry as obs_registry
+
 
 @dataclass(frozen=True)
 class VariableAIConfig:
@@ -116,8 +118,13 @@ class VariableAI:
         cfg = self.config
         measured = self._measured
         if measured > cfg.token_thresh:
+            before = self.ai_bank
             self.ai_bank = min(measured / cfg.ai_div + self.ai_bank, cfg.bank_cap)
             self.dampener += measured / cfg.token_thresh
+            reg = obs_registry.STATS
+            if reg is not None:
+                # Banked delta, not the raw mint: the cap truncation matters.
+                reg.counter("vai.tokens_banked").inc(self.ai_bank - before)
         elif self.ai_bank == 0.0:
             if no_congestion:
                 self.dampener = 0.0
@@ -143,6 +150,10 @@ class VariableAI:
         self.ai_bank = max(self.ai_bank - tokens, 0.0)
         divisor = self.dampener / cfg.dampener_constant + 1.0
         self._spent_multiplier = max(tokens / divisor, 1.0)
+        if tokens > 0.0:
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("vai.tokens_spent").inc(tokens)
         return self._spent_multiplier
 
     def reset(self) -> None:

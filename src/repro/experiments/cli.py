@@ -17,10 +17,16 @@ from the simulator's global event counter.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from ..obs import registry as obs_registry
+from ..obs import telemetry as obs_telemetry
+from ..obs import tracer as obs_tracer
+from ..obs.report import render_report
 from ..sim import engine
 from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
@@ -115,11 +121,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report per-figure simulator event counts and events/s",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect run/campaign telemetry (phase timings, per-worker "
+            "heartbeats, cache stats) and write a schema-validated manifest "
+            "(default PATH: telemetry.json)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a structured event trace and write Chrome trace_event "
+            "JSON (open in Perfetto or chrome://tracing)"
+        ),
+    )
     return parser
 
 
+def obs_main(argv: List[str]) -> int:
+    """The ``repro-experiments obs`` subcommand family (currently: report)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs",
+        description="Inspect observability artifacts from past invocations.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    rep = sub.add_parser(
+        "report",
+        help="render a text dashboard from telemetry manifests",
+    )
+    rep.add_argument(
+        "manifests",
+        nargs="+",
+        metavar="MANIFEST",
+        help="telemetry manifest JSON file(s) written by --telemetry",
+    )
+    rep.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="include benchmark results (BENCH_results.json) in the report",
+    )
+    args = parser.parse_args(argv)
+
+    pairs = []
+    for path in args.manifests:
+        try:
+            manifest = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read manifest {path}: {exc}", file=sys.stderr)
+            return 2
+        errors = obs_telemetry.validate_manifest(manifest)
+        if errors:
+            print(f"warning: {path} fails schema validation:", file=sys.stderr)
+            for err in errors[:5]:
+                print(f"  - {err}", file=sys.stderr)
+        pairs.append((Path(path).name, manifest))
+    bench = None
+    if args.bench is not None:
+        try:
+            bench = json.loads(Path(args.bench).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read bench file {args.bench}: {exc}", file=sys.stderr)
+            return 2
+    print(render_report(pairs, bench))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["obs"]:
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
+    wall_start = time.perf_counter()
+    events_start = engine.total_events_executed()
     figs = list(args.figs or [])
     exts = list(args.exts or [])
     if args.all:
@@ -148,13 +229,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         set_default_budget(budget)
 
+    collector = None
+    if args.telemetry is not None:
+        obs_registry.enable()
+        collector = obs_telemetry.enable()
+    tracer = None
+    if args.trace_out is not None:
+        tracer = obs_tracer.enable()
+    progress = None
+    if collector is not None:
+        def progress(message: str) -> None:
+            print(f"[campaign] {message}", flush=True)
+
     # Run the figures' simulations as one deduplicated campaign up front;
     # the figure functions then replay them from the warm caches.
     campaign = campaign_for_figures(figs, scale=args.scale)
     if campaign:
         campaign_events = engine.total_events_executed()
         try:
-            outcome = run_campaign(campaign, jobs=args.jobs, budget=budget)
+            outcome = run_campaign(
+                campaign, jobs=args.jobs, budget=budget, progress=progress
+            )
         except Exception as exc:
             # Figures retry failing runs individually below; the campaign
             # failing wholesale (e.g. a broken pool) only loses parallelism.
@@ -216,6 +311,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in incomplete:
             print(f"  - {line}", file=sys.stderr)
         exit_code = 1
+
+    if tracer is not None:
+        Path(args.trace_out).write_text(tracer.to_chrome_json() + "\n")
+        print(
+            f"[trace] {len(tracer)} event(s) ({tracer.dropped} dropped) -> "
+            f"{args.trace_out} (open in Perfetto)"
+        )
+    if collector is not None:
+        # Pool workers execute their events in other processes; their run
+        # records carry the counts, so fold them into the process total.
+        events_total = engine.total_events_executed() - events_start
+        events_total += sum(
+            r["events"] for r in collector.runs if r.get("pid") is not None
+        )
+        manifest = obs_telemetry.build_manifest(
+            collector,
+            wall_s=time.perf_counter() - wall_start,
+            events_executed=events_total,
+            argv=argv,
+            store_stats=store.stats if store is not None else None,
+            counters=(
+                obs_registry.STATS.snapshot()
+                if obs_registry.STATS is not None
+                else None
+            ),
+            trace=tracer,
+        )
+        errors = obs_telemetry.validate_manifest(manifest)
+        if errors:
+            print(
+                "error: telemetry manifest fails schema validation:",
+                file=sys.stderr,
+            )
+            for err in errors:
+                print(f"  - {err}", file=sys.stderr)
+            exit_code = exit_code or 1
+        obs_telemetry.write_manifest(args.telemetry, manifest)
+        print(f"[telemetry] manifest -> {args.telemetry}")
+    # Leave the process as we found it for in-process callers (tests).
+    if tracer is not None:
+        obs_tracer.disable()
+    if collector is not None:
+        obs_telemetry.disable()
+        obs_registry.disable()
     return exit_code
 
 

@@ -23,11 +23,13 @@ forked children).
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs import telemetry as obs_telemetry
 from ..sim.network import RunBudget
 from .config import (
     DATACENTER_VARIANTS,
@@ -68,6 +70,40 @@ def _worker_init(budget: Optional[RunBudget]) -> None:
     set_default_budget(budget)
 
 
+def _describe(cfg: Any) -> str:
+    """Progress label for a config (anything with cache_key() is runnable)."""
+    describe = getattr(cfg, "describe", None)
+    return describe() if callable(describe) else type(cfg).__name__
+
+
+@dataclass
+class RunEnvelope:
+    """A worker's result plus the per-run telemetry the parent reports.
+
+    Workers never enable telemetry themselves (the collector is a parent-
+    process object); instead every pool task comes back wrapped in one of
+    these so the parent can attribute wall time, event count, and worker
+    pid without a second communication channel.
+    """
+
+    result: Any
+    pid: int
+    wall_s: float
+    events: int
+
+
+def _run_config_timed(cfg: AnyConfig) -> RunEnvelope:
+    """Pool work function: simulate and wrap with timing provenance."""
+    t0 = time.perf_counter()
+    result = run_config(cfg)
+    return RunEnvelope(
+        result=result,
+        pid=os.getpid(),
+        wall_s=time.perf_counter() - t0,
+        events=getattr(result, "events_executed", 0),
+    )
+
+
 @dataclass
 class CampaignStats:
     """What one campaign did: cache effectiveness and parallel speed."""
@@ -99,12 +135,22 @@ class CampaignOutcome:
         return self.results[cfg.cache_key()]
 
 
+def _announce(progress: Optional[Callable[[str], None]], message: str) -> None:
+    """One live progress line: to the caller's sink and the telemetry log."""
+    if progress is not None:
+        progress(message)
+    tel = obs_telemetry.TELEMETRY
+    if tel is not None:
+        tel.heartbeat(message)
+
+
 def run_campaign(
     configs: Sequence[AnyConfig],
     *,
     jobs: int = 1,
     budget: Optional[RunBudget] = None,
     salvage: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignOutcome:
     """Run every config, each exactly once, using caches then ``jobs`` cores.
 
@@ -115,6 +161,10 @@ def run_campaign(
     With ``salvage=True`` a config whose run raises is reported on the
     outcome's ``failures`` instead of aborting the campaign — sweeps use
     this so one pathological seed cannot waste the other workers' results.
+
+    ``progress`` receives one human-readable line per completed (or failed)
+    run, plus a campaign header; the same lines land in the telemetry
+    collector's heartbeat log when telemetry is enabled.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -137,6 +187,11 @@ def run_campaign(
             pending.append(cfg)
 
     if pending:
+        _announce(
+            progress,
+            f"campaign: {stats.unique} unique config(s), {stats.cached} cached, "
+            f"{len(pending)} to simulate (jobs={jobs})",
+        )
         if jobs == 1:
             futures = [(cfg, None) for cfg in pending]
             pool = None
@@ -146,12 +201,27 @@ def run_campaign(
                 initializer=_worker_init,
                 initargs=(budget,),
             )
-            futures = [(cfg, pool.submit(run_config, cfg)) for cfg in pending]
+            futures = [(cfg, pool.submit(_run_config_timed, cfg)) for cfg in pending]
+        done = 0
         try:
             for cfg, future in futures:
                 try:
-                    result = run_config(cfg) if future is None else future.result()
+                    if future is None:
+                        # Serial path runs in-parent; the runner itself
+                        # records the run when telemetry is on, so only the
+                        # pool path reports envelopes (no double-counting).
+                        result = run_config(cfg)
+                        envelope = None
+                    else:
+                        envelope = future.result()
+                        result = envelope.result
                 except Exception as exc:
+                    done += 1
+                    _announce(
+                        progress,
+                        f"[{done}/{len(pending)}] {_describe(cfg)} "
+                        f"FAILED: {type(exc).__name__}: {exc}",
+                    )
                     if not salvage:
                         raise
                     failures.append(
@@ -161,11 +231,43 @@ def run_campaign(
                 seed_result_caches(cfg, result)
                 results[cfg.cache_key()] = result
                 stats.executed += 1
+                done += 1
+                if envelope is None:
+                    _announce(progress, f"[{done}/{len(pending)}] {_describe(cfg)} done")
+                else:
+                    tel = obs_telemetry.TELEMETRY
+                    if tel is not None:
+                        status = getattr(result, "status", None)
+                        tel.record_run(
+                            "incast" if isinstance(cfg, IncastConfig) else "datacenter",
+                            _describe(cfg),
+                            wall_s=envelope.wall_s,
+                            events=envelope.events,
+                            completed=bool(status) if status is not None else True,
+                            pid=envelope.pid,
+                        )
+                    _announce(
+                        progress,
+                        f"[{done}/{len(pending)}] {_describe(cfg)} done in "
+                        f"{envelope.wall_s:.2f}s ({envelope.events} events, "
+                        f"pid {envelope.pid})",
+                    )
         finally:
             if pool is not None:
                 pool.shutdown()
 
     stats.wall_s = time.perf_counter() - start
+    tel = obs_telemetry.TELEMETRY
+    if tel is not None:
+        tel.record_campaign(
+            requested=stats.requested,
+            unique=stats.unique,
+            cached=stats.cached,
+            executed=stats.executed,
+            jobs=stats.jobs,
+            wall_s=stats.wall_s,
+            failures=len(failures),
+        )
     return CampaignOutcome(results=results, stats=stats, failures=failures)
 
 

@@ -31,12 +31,14 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..cc import CCEnv, make_cc, needs_red, uses_cnp
+from ..obs import telemetry as obs_telemetry
 from ..metrics.fairness import convergence_time_ns, jain_series
 from ..metrics.fct import FlowRecord, collect_records
 from ..metrics.queues import QueueStats, queue_stats
@@ -81,6 +83,18 @@ def drain_incomplete_runs() -> List[str]:
     out = list(_INCOMPLETE_RUNS)
     _INCOMPLETE_RUNS.clear()
     return out
+
+
+def _phase(name: str):
+    """Telemetry phase context (no-op when telemetry is disabled)."""
+    tel = obs_telemetry.TELEMETRY
+    return tel.phase(name) if tel is not None else nullcontext()
+
+
+def _record_run(kind: str, desc: str, *, wall_s: float, events: int, completed: bool) -> None:
+    tel = obs_telemetry.TELEMETRY
+    if tel is not None:
+        tel.record_run(kind, desc, wall_s=wall_s, events=events, completed=completed)
 
 
 def _check_status(desc: str, status: CompletionStatus) -> None:
@@ -230,52 +244,63 @@ class IncastResult:
 
 def run_incast(cfg: IncastConfig) -> IncastResult:
     """Run one staggered incast and collect fairness/queue series."""
-    red = red_for_rate(cfg.rate_bps) if needs_red(cfg.variant) else None
-    topo = build_star(
-        cfg.n_senders,
-        rate_bps=cfg.rate_bps,
-        prop_delay_ns=cfg.prop_delay_ns,
-        seed=cfg.seed,
-        red=red,
-    )
-    net = topo.network
-    if cfg.faults is not None:
-        install_faults(cfg.faults, topo)
-    receiver = topo.hosts[-1].node_id
-    specs = staggered_incast(
-        cfg.n_senders,
-        flow_size_bytes=cfg.flow_size_bytes,
-        flows_per_batch=cfg.flows_per_batch,
-        batch_interval_ns=cfg.batch_interval_ns,
-    )
-    flows: List[Flow] = []
-    for spec in specs:
-        src = topo.hosts[spec.sender_index].node_id
-        env = make_env(net, src, receiver)
-        cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
-        flow = Flow(
-            net.next_flow_id(), src, receiver, spec.size_bytes, spec.start_time_ns
+    t_begin = time.perf_counter()
+    with _phase("build"):
+        red = red_for_rate(cfg.rate_bps) if needs_red(cfg.variant) else None
+        topo = build_star(
+            cfg.n_senders,
+            rate_bps=cfg.rate_bps,
+            prop_delay_ns=cfg.prop_delay_ns,
+            seed=cfg.seed,
+            red=red,
         )
-        flow.use_cnp = uses_cnp(cfg.variant)
-        net.add_flow(flow, cc)
-        flows.append(flow)
+        net = topo.network
+        if cfg.faults is not None:
+            install_faults(cfg.faults, topo)
+        receiver = topo.hosts[-1].node_id
+        specs = staggered_incast(
+            cfg.n_senders,
+            flow_size_bytes=cfg.flow_size_bytes,
+            flows_per_batch=cfg.flows_per_batch,
+            batch_interval_ns=cfg.batch_interval_ns,
+        )
+        flows: List[Flow] = []
+        for spec in specs:
+            src = topo.hosts[spec.sender_index].node_id
+            env = make_env(net, src, receiver)
+            cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
+            flow = Flow(
+                net.next_flow_id(), src, receiver, spec.size_bytes, spec.start_time_ns
+            )
+            flow.use_cnp = uses_cnp(cfg.variant)
+            net.add_flow(flow, cc)
+            flows.append(flow)
 
-    qmon = QueueMonitor(
-        net.sim, topo.bottleneck_ports, cfg.sample_interval_ns, aggregate="sum"
-    ).start()
-    gmon = GoodputMonitor(net.sim, flows, net.nodes, cfg.goodput_interval_ns).start()
+        qmon = QueueMonitor(
+            net.sim, topo.bottleneck_ports, cfg.sample_interval_ns, aggregate="sum"
+        ).start()
+        gmon = GoodputMonitor(net.sim, flows, net.nodes, cfg.goodput_interval_ns).start()
 
-    status = net.run_until_flows_complete(
-        timeout_ns=cfg.timeout_ns, budget=_DEFAULT_BUDGET
-    )
+    with _phase("simulate"):
+        status = net.run_until_flows_complete(
+            timeout_ns=cfg.timeout_ns, budget=_DEFAULT_BUDGET
+        )
     qmon.stop()
     gmon.stop()
     _check_status(cfg.describe(), status)
 
-    qt, qv = qmon.series()
-    gt, rates = gmon.rates_bps()
-    jt, jv = jain_series(gt, rates, flows)
-    last_start = max(f.start_time for f in flows)
+    with _phase("collect"):
+        qt, qv = qmon.series()
+        gt, rates = gmon.rates_bps()
+        jt, jv = jain_series(gt, rates, flows)
+        last_start = max(f.start_time for f in flows)
+    _record_run(
+        "incast",
+        cfg.describe(),
+        wall_s=time.perf_counter() - t_begin,
+        events=net.sim.events_executed,
+        completed=bool(status),
+    )
     return IncastResult(
         config=cfg,
         flows=flows,
@@ -322,44 +347,47 @@ class DatacenterResult:
 
 def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
     """Run one fat-tree trace: Poisson arrivals for ``duration``, then drain."""
-    red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
-    topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)
-    net = topo.network
-    if cfg.faults is not None:
-        install_faults(cfg.faults, topo)
-    dist = get_distribution(cfg.workload)
-    if cfg.size_scale != 1.0:
-        dist = ScaledDistribution(dist, cfg.size_scale)
-    specs = generate_poisson_traffic(
-        n_hosts=len(topo.hosts),
-        host_rate_bps=cfg.fattree.host_rate_bps,
-        load=cfg.load,
-        duration_ns=cfg.duration_ns,
-        distribution=dist,
-        seed=cfg.seed,
-    )
-    # Environments depend only on (src, dst); cache them.
-    env_cache: Dict[Tuple[int, int], CCEnv] = {}
-    flows: List[Flow] = []
-    for spec in specs:
-        src = topo.hosts[spec.src_index].node_id
-        dst = topo.hosts[spec.dst_index].node_id
-        key = (src, dst)
-        env = env_cache.get(key)
-        if env is None:
-            env = make_env(net, src, dst)
-            env_cache[key] = env
-        cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
-        flow = Flow(
-            net.next_flow_id(), src, dst, spec.size_bytes, spec.start_time_ns
+    t_begin = time.perf_counter()
+    with _phase("build"):
+        red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
+        topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)
+        net = topo.network
+        if cfg.faults is not None:
+            install_faults(cfg.faults, topo)
+        dist = get_distribution(cfg.workload)
+        if cfg.size_scale != 1.0:
+            dist = ScaledDistribution(dist, cfg.size_scale)
+        specs = generate_poisson_traffic(
+            n_hosts=len(topo.hosts),
+            host_rate_bps=cfg.fattree.host_rate_bps,
+            load=cfg.load,
+            duration_ns=cfg.duration_ns,
+            distribution=dist,
+            seed=cfg.seed,
         )
-        flow.use_cnp = uses_cnp(cfg.variant)
-        net.add_flow(flow, cc)
-        flows.append(flow)
+        # Environments depend only on (src, dst); cache them.
+        env_cache: Dict[Tuple[int, int], CCEnv] = {}
+        flows: List[Flow] = []
+        for spec in specs:
+            src = topo.hosts[spec.src_index].node_id
+            dst = topo.hosts[spec.dst_index].node_id
+            key = (src, dst)
+            env = env_cache.get(key)
+            if env is None:
+                env = make_env(net, src, dst)
+                env_cache[key] = env
+            cc = make_cc(cfg.variant, env, fs_max_cwnd_pkts=cfg.fs_max_cwnd_pkts)
+            flow = Flow(
+                net.next_flow_id(), src, dst, spec.size_bytes, spec.start_time_ns
+            )
+            flow.use_cnp = uses_cnp(cfg.variant)
+            net.add_flow(flow, cc)
+            flows.append(flow)
 
-    status = net.run_until_flows_complete(
-        timeout_ns=cfg.duration_ns + cfg.drain_timeout_ns, budget=_DEFAULT_BUDGET
-    )
+    with _phase("simulate"):
+        status = net.run_until_flows_complete(
+            timeout_ns=cfg.duration_ns + cfg.drain_timeout_ns, budget=_DEFAULT_BUDGET
+        )
     # Unlike the incast, a drain timeout with a few stragglers is a valid
     # outcome here (completion_fraction reports it), so only the watchdog is
     # an error; the status still rides on the result for diagnosis.
@@ -369,7 +397,15 @@ def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
             f"after {status.events_executed} events with "
             f"{len(status.incomplete_flows)} flows incomplete"
         )
-    records = collect_records(net, flows)
+    with _phase("collect"):
+        records = collect_records(net, flows)
+    _record_run(
+        "datacenter",
+        cfg.describe(),
+        wall_s=time.perf_counter() - t_begin,
+        events=net.sim.events_executed,
+        completed=bool(status),
+    )
     return DatacenterResult(
         config=cfg,
         records=records,

@@ -1,0 +1,50 @@
+"""repro.obs — the unified observability layer.
+
+Three cooperating facilities, each consulted through one module-level
+``None``-able global so that disabled instrumentation costs a single
+attribute read on hot paths (the ``Port.fault_hook`` idiom):
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms registered
+  by the engine, port, host, PFC, fault, and congestion-control layers;
+* :mod:`repro.obs.tracer` — typed spans/instants in a bounded ring buffer,
+  exportable as Chrome ``trace_event`` JSON (Perfetto) or CSV;
+* :mod:`repro.obs.telemetry` — run/campaign manifests (wall time, event
+  counts, phase timings, store hit rates, heartbeats) validated against a
+  checked-in JSON schema, rendered by :mod:`repro.obs.report`.
+
+Everything here is **passive**: enabling any of it never schedules events,
+draws random numbers, or perturbs simulation state, so instrumented runs
+are byte-identical to bare ones (``tests/sim/test_obs_disabled.py``).
+"""
+
+from . import registry, telemetry, tracer
+from .registry import Counter, Gauge, Histogram, Registry
+from .telemetry import TelemetryCollector, build_manifest, validate_manifest
+from .tracer import EventTracer
+
+__all__ = [
+    "registry",
+    "tracer",
+    "telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "EventTracer",
+    "TelemetryCollector",
+    "build_manifest",
+    "validate_manifest",
+]
+
+
+def enable_all(*, trace_capacity: int = tracer.DEFAULT_CAPACITY) -> None:
+    """Turn on registry, tracer, and telemetry together (CLI convenience)."""
+    registry.enable()
+    tracer.enable(capacity=trace_capacity)
+    telemetry.enable()
+
+
+def disable_all() -> None:
+    registry.disable()
+    tracer.disable()
+    telemetry.disable()

@@ -1,0 +1,199 @@
+"""Near-zero-overhead instrumentation registry: named counters/gauges/histograms.
+
+Design goals, in priority order:
+
+1. **Disabled costs (almost) nothing.**  Instrumented call sites read one
+   module-level global (``STATS``) and test it against ``None`` — the same
+   idiom as ``Port.fault_hook``.  No objects are allocated, no dict is
+   touched, no callback fires.  The benchmark-guard test
+   (``tests/sim/test_obs_disabled.py``) locks in that simulation outputs are
+   byte-identical with instrumentation on or off; the overhead budget for
+   the *disabled* path is documented in DESIGN.md §9.
+2. **Enabled is passive.**  Metrics record what happened; they never
+   schedule events, draw random numbers, or touch simulation state, so a
+   fully instrumented run is also byte-identical to a bare one.
+3. **Names are free-form dotted strings** (``"port.fused_deliveries"``).
+   The registry creates metrics on first use, so layers never coordinate.
+
+Instrumented sites look like::
+
+    from ..obs import registry as obs_registry
+    ...
+    reg = obs_registry.STATS
+    if reg is not None:
+        reg.counter("port.fused_deliveries").inc()
+
+Hot loops that would otherwise look up the same counter thousands of times
+may hoist the :class:`Counter` object out of the loop — metric objects are
+stable for the lifetime of their registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Counter:
+    """A monotonically increasing value (float so token fractions count too)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; ``update_max`` keeps peaks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def update_max(self, v: float) -> None:
+        if v > self.value:
+            self.value = v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming summary of observations: count/total/min/max (no buckets).
+
+    Buckets would force a per-layer bucket-boundary negotiation; the trace
+    layer (:mod:`repro.obs.tracer`) is the tool for full distributions.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class Registry:
+    """Create-on-first-use store of named metrics."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict rendering with sorted names (JSON- and diff-friendly)."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].summary() for n in sorted(self._histograms)
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+#: The process-wide registry instrumented sites consult.  ``None`` (the
+#: default) disables all instrumentation; hot paths pay one global read and
+#: one identity test.
+STATS: Optional[Registry] = None
+
+
+def enable(registry: Optional[Registry] = None) -> Registry:
+    """Install (and return) the process-wide registry, creating one if needed."""
+    global STATS
+    STATS = registry if registry is not None else Registry()
+    return STATS
+
+
+def disable() -> None:
+    """Remove the process-wide registry; instrumentation reverts to no-ops."""
+    global STATS
+    STATS = None
+
+
+def enabled() -> bool:
+    return STATS is not None
+
+
+def get() -> Optional[Registry]:
+    return STATS
+
+
+@contextmanager
+def capture() -> Iterator[Registry]:
+    """Enable a fresh registry for the scope of a ``with`` block (tests).
+
+    The previous registry (usually ``None``) is restored on exit, so tests
+    never leak instrumentation into each other.
+    """
+    global STATS
+    prev = STATS
+    reg = Registry()
+    STATS = reg
+    try:
+        yield reg
+    finally:
+        STATS = prev

@@ -1,0 +1,152 @@
+"""Text dashboard over telemetry manifests and benchmark results.
+
+``repro-experiments obs report m1.json m2.json --bench BENCH_results.json``
+renders everything the observability layer knows about past runs as aligned
+text tables: per-manifest totals, aggregated phase timings, individual run
+records, campaign/cache effectiveness, and the benchmark baseline.
+
+Rendering is deterministic for given inputs (sorted keys, fixed float
+formats) — the golden test in ``tests/experiments/test_obs_report.py``
+asserts the exact output for fixture manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _fmt_s(v: Any) -> str:
+    return f"{float(v):.2f}"
+
+
+def _fmt_rate(v: Any) -> str:
+    return f"{float(v):,.0f}"
+
+
+def _hit_pct(hits: int, misses: int) -> str:
+    total = hits + misses
+    return f"{100.0 * hits / total:.0f}%" if total else "-"
+
+
+def render_report(
+    manifests: Sequence[Tuple[str, Dict[str, Any]]],
+    bench: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render ``(label, manifest)`` pairs (+ optional bench data) as text."""
+    # Local import: obs must stay importable from the simulator layers
+    # without dragging in the experiments stack at module-import time.
+    from ..experiments.reporting import format_table
+
+    out: List[str] = ["=== repro observability report ==="]
+
+    rows = []
+    for label, m in manifests:
+        store = m.get("store") or {}
+        campaign = m.get("campaign") or {}
+        rows.append(
+            (
+                label,
+                _fmt_s(m.get("wall_s", 0.0)),
+                m.get("events_executed", 0),
+                _fmt_rate(m.get("events_per_s", 0.0)),
+                len(m.get("runs") or ()),
+                campaign.get("cached", "-"),
+                campaign.get("executed", "-"),
+                campaign.get("jobs", "-"),
+                _hit_pct(store.get("hits", 0), store.get("misses", 0)),
+            )
+        )
+    out.append(f"\n-- manifests ({len(rows)})")
+    out.append(
+        format_table(
+            (
+                "manifest",
+                "wall_s",
+                "events",
+                "events/s",
+                "runs",
+                "cached",
+                "simulated",
+                "jobs",
+                "store-hit",
+            ),
+            rows,
+        )
+    )
+
+    phases: Dict[str, Dict[str, float]] = {}
+    for _, m in manifests:
+        for name, entry in (m.get("phases") or {}).items():
+            agg = phases.setdefault(name, {"wall_s": 0.0, "count": 0})
+            agg["wall_s"] += entry.get("wall_s", 0.0)
+            agg["count"] += entry.get("count", 0)
+    if phases:
+        out.append("\n-- phases (aggregated)")
+        out.append(
+            format_table(
+                ("phase", "wall_s", "count"),
+                [
+                    (name, _fmt_s(phases[name]["wall_s"]), int(phases[name]["count"]))
+                    for name in sorted(phases)
+                ],
+            )
+        )
+
+    runs = [(label, r) for label, m in manifests for r in (m.get("runs") or ())]
+    if runs:
+        out.append(f"\n-- runs ({len(runs)})")
+        out.append(
+            format_table(
+                ("manifest", "kind", "desc", "wall_s", "events", "completed"),
+                [
+                    (
+                        label,
+                        r.get("kind", "?"),
+                        r.get("desc", "?"),
+                        _fmt_s(r.get("wall_s", 0.0)),
+                        r.get("events", 0),
+                        "yes" if r.get("completed") else "NO",
+                    )
+                    for label, r in runs
+                ],
+            )
+        )
+
+    failures = sum(
+        (m.get("campaign") or {}).get("failures", 0) for _, m in manifests
+    )
+    incomplete = sum(
+        1 for _, r in runs if not r.get("completed", True)
+    )
+    if failures or incomplete:
+        out.append(
+            f"\n!! attention: {failures} campaign failure(s), "
+            f"{incomplete} incomplete run(s)"
+        )
+
+    if bench:
+        out.append("\n-- benchmarks (BENCH_results.json)")
+        bench_rows = [
+            (
+                name,
+                _fmt_s(rec.get("wall_s", 0.0)),
+                rec.get("events", 0),
+                _fmt_rate(rec.get("events_per_s", 0.0)),
+            )
+            for name, rec in sorted((bench.get("benchmarks") or {}).items())
+        ]
+        total = bench.get("total")
+        if total:
+            bench_rows.append(
+                (
+                    "TOTAL",
+                    _fmt_s(total.get("wall_s", 0.0)),
+                    total.get("events", 0),
+                    _fmt_rate(total.get("events_per_s", 0.0)),
+                )
+            )
+        out.append(
+            format_table(("benchmark", "wall_s", "events", "events/s"), bench_rows)
+        )
+
+    return "\n".join(out)

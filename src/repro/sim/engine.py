@@ -47,6 +47,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from ..obs import registry as obs_registry
+
 #: Cap on the Event free list used by :meth:`Simulator.schedule_detached`.
 _POOL_MAX = 4096
 
@@ -92,6 +94,7 @@ class Event:
             sim = self.sim
             if sim is not None:
                 sim._cancelled += 1
+                sim.cancellations += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -129,6 +132,8 @@ class Simulator:
         "_stopped",
         "_cancelled",
         "_pool",
+        "cancellations",
+        "compactions",
     )
 
     def __init__(self) -> None:
@@ -151,6 +156,9 @@ class Simulator:
         self._cancelled: int = 0
         # Free list of detached Event objects (see schedule_detached).
         self._pool: list[Event] = []
+        # Lifetime introspection totals (never decremented, unlike _cancelled).
+        self.cancellations: int = 0
+        self.compactions: int = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -294,6 +302,7 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
+        self.compactions += 1
         live = [entry for entry in self._heap if not entry[-1].cancelled]
         recycled = self._pool
         if len(recycled) < _POOL_MAX:
@@ -338,6 +347,13 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         pool = self._pool
+        # Instrumentation is flushed as per-run deltas at run() exit — the
+        # per-event hot loop below stays untouched whether obs is on or off.
+        reg = obs_registry.STATS
+        if reg is not None:
+            seq_before = self._seq
+            cancels_before = self.cancellations
+            compactions_before = self.compactions
         try:
             while heap and not self._stopped:
                 entry = heap[0]
@@ -372,6 +388,16 @@ class Simulator:
         finally:
             self._running = False
             _TOTAL_EVENTS_EXECUTED += executed
+            if reg is not None:
+                reg.counter("engine.events_executed").inc(executed)
+                reg.counter("engine.events_scheduled").inc(self._seq - seq_before)
+                reg.counter("engine.events_cancelled").inc(
+                    self.cancellations - cancels_before
+                )
+                reg.counter("engine.heap_compactions").inc(
+                    self.compactions - compactions_before
+                )
+                reg.gauge("engine.heap_peak").update_max(len(heap))
 
     def run_until_idle(self, max_events: Optional[int] = None) -> None:
         """Run until no events remain (or ``max_events`` executed)."""

@@ -39,6 +39,8 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import registry as obs_registry
+from ..obs import tracer as obs_tracer
 from .packet import DATA, Packet
 from .port import FAULT_CORRUPT, FAULT_DROP, FAULT_NONE, Port
 
@@ -96,6 +98,9 @@ class PacketFaultHook:
             self._counter += 1
             if self._counter % self.every_nth == 0:
                 self.drops += 1
+                reg = obs_registry.STATS
+                if reg is not None:
+                    reg.counter("faults.drops").inc()
                 return FAULT_DROP
             return FAULT_NONE
         # One draw per candidate packet keeps the random stream aligned no
@@ -103,9 +108,15 @@ class PacketFaultHook:
         r = self.rng.random()
         if r < self.drop_prob:
             self.drops += 1
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("faults.drops").inc()
             return FAULT_DROP
         if r < self.drop_prob + self.corrupt_prob:
             self.corruptions += 1
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("faults.corruptions").inc()
             return FAULT_CORRUPT
         return FAULT_NONE
 
@@ -115,6 +126,38 @@ class FaultInjector:
 
     def install(self, net: "Network") -> None:
         raise NotImplementedError
+
+
+def _set_link_state_traced(net: "Network", a: int, b: int, up: bool) -> None:
+    """``Network.set_link_state`` plus observability (same event shape)."""
+    net.set_link_state(a, b, up)
+    reg = obs_registry.STATS
+    if reg is not None:
+        reg.counter("faults.link_transitions").inc()
+    tr = obs_tracer.TRACER
+    if tr is not None:
+        tr.instant(
+            f"link {a}-{b} {'up' if up else 'down'}",
+            net.sim.now(),
+            cat="fault",
+            args={"a": a, "b": b, "up": up},
+        )
+
+
+def _set_switch_state_traced(net: "Network", switch_id: int, up: bool) -> None:
+    """``Network.set_switch_state`` plus observability (same event shape)."""
+    net.set_switch_state(switch_id, up)
+    reg = obs_registry.STATS
+    if reg is not None:
+        reg.counter("faults.switch_transitions").inc()
+    tr = obs_tracer.TRACER
+    if tr is not None:
+        tr.instant(
+            f"switch {switch_id} {'up' if up else 'down'}",
+            net.sim.now(),
+            cat="fault",
+            args={"switch": switch_id, "up": up},
+        )
 
 
 def _resolve_ports(net: "Network", selector: PortSelector) -> List[Port]:
@@ -203,8 +246,10 @@ class LinkFlapInjector(FaultInjector):
         t = self.down_at_ns
         cycles = self.count if self.period_ns is not None else 1
         for _ in range(cycles):
-            net.sim.schedule_at(t, net.set_link_state, self.a, self.b, False)
-            net.sim.schedule_at(t + self.down_for_ns, net.set_link_state, self.a, self.b, True)
+            net.sim.schedule_at(t, _set_link_state_traced, net, self.a, self.b, False)
+            net.sim.schedule_at(
+                t + self.down_for_ns, _set_link_state_traced, net, self.a, self.b, True
+            )
             if self.period_ns is not None:
                 t += self.period_ns
 
@@ -223,9 +268,15 @@ class SwitchBlackoutInjector(FaultInjector):
 
     def install(self, net: "Network") -> None:
         net.disable_port_fusion()  # same reasoning as LinkFlapInjector
-        net.sim.schedule_at(self.down_at_ns, net.set_switch_state, self.switch_id, False)
         net.sim.schedule_at(
-            self.down_at_ns + self.down_for_ns, net.set_switch_state, self.switch_id, True
+            self.down_at_ns, _set_switch_state_traced, net, self.switch_id, False
+        )
+        net.sim.schedule_at(
+            self.down_at_ns + self.down_for_ns,
+            _set_switch_state_traced,
+            net,
+            self.switch_id,
+            True,
         )
 
 

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from ..obs import registry as obs_registry
+from ..obs import tracer as obs_tracer
 from .engine import Simulator
 from .flow import Flow, ReceiverState, SenderState
 from .node import Node
@@ -219,6 +221,19 @@ class Host(Node):
         # Go-back-N: rewind to the last cumulative ACK and resend from there.
         state.retransmits += 1
         state.retransmitted_bytes += state.next_seq - state.acked
+        reg = obs_registry.STATS
+        if reg is not None:
+            reg.counter("host.retransmissions").inc()
+            reg.counter("host.retransmitted_bytes").inc(state.next_seq - state.acked)
+        tr = obs_tracer.TRACER
+        if tr is not None:
+            tr.instant(
+                f"rto flow {flow.flow_id}",
+                self.sim.now(),
+                cat="loss",
+                tid=flow.flow_id,
+                args={"rewind_to": state.acked, "backoff": state.rto_backoff},
+            )
         state.next_seq = state.acked
         state.rto_backoff = min(state.rto_backoff * 2.0, self.max_rto_backoff)
         state.cc.on_timeout(self.sim.now())
@@ -245,6 +260,9 @@ class Host(Node):
             # CRC failure: the packet (data, ACK or CNP alike) is discarded
             # silently; sender-side loss recovery covers the gap.
             self.corrupt_discards += 1
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("host.corrupt_discards").inc()
             return
         kind = pkt.kind
         if kind == DATA:
@@ -305,6 +323,25 @@ class Host(Node):
             if state.rto_timer is not None:
                 state.rto_timer.cancel()
                 state.rto_timer = None
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("host.flows_completed").inc()
+            tr = obs_tracer.TRACER
+            if tr is not None:
+                # Flow lifecycle as one complete span: start -> last ACK.
+                tr.complete(
+                    f"flow {flow.flow_id}",
+                    flow.start_time,
+                    now - flow.start_time,
+                    cat="flow",
+                    tid=flow.flow_id,
+                    args={
+                        "src": flow.src,
+                        "dst": flow.dst,
+                        "size_bytes": flow.size,
+                        "retransmits": state.retransmits,
+                    },
+                )
             for cb in self.completion_callbacks:
                 cb(flow)
             return

@@ -39,13 +39,17 @@ class QueueMonitor:
         self.times: List[float] = []
         self.values: List[float] = []
         self._stopped = False
+        self._event = None  # the pending self-rescheduled sample event
 
     def start(self) -> "QueueMonitor":
-        self.sim.schedule(0.0, self._sample)
+        self._event = self.sim.schedule(0.0, self._sample)
         return self
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending event (no heap residue)."""
         self._stopped = True
+        self.sim.cancel(self._event)
+        self._event = None
 
     def _sample(self) -> None:
         if self._stopped:
@@ -54,7 +58,7 @@ class QueueMonitor:
         value = max(qlens) if self.aggregate == "max" else sum(qlens)
         self.times.append(self.sim.now())
         self.values.append(value)
-        self.sim.schedule(self.interval_ns, self._sample)
+        self._event = self.sim.schedule(self.interval_ns, self._sample)
 
     def series(self) -> tuple:
         """(times_ns, queue_bytes) as NumPy arrays."""
@@ -91,13 +95,17 @@ class GoodputMonitor:
         self.times: List[float] = []
         self.samples: List[List[int]] = []  # delivered bytes per flow
         self._stopped = False
+        self._event = None  # the pending self-rescheduled sample event
 
     def start(self) -> "GoodputMonitor":
-        self.sim.schedule(0.0, self._sample)
+        self._event = self.sim.schedule(0.0, self._sample)
         return self
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending event (no heap residue)."""
         self._stopped = True
+        self.sim.cancel(self._event)
+        self._event = None
 
     def _delivered(self, flow: Flow) -> int:
         receiver = self.nodes[flow.dst].receivers.get(flow.flow_id)
@@ -108,7 +116,7 @@ class GoodputMonitor:
             return
         self.times.append(self.sim.now())
         self.samples.append([self._delivered(f) for f in self.flows])
-        self.sim.schedule(self.interval_ns, self._sample)
+        self._event = self.sim.schedule(self.interval_ns, self._sample)
 
     def rates_bps(self) -> tuple:
         """Per-interval goodput for each flow.

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import registry as obs_registry
+
 
 @dataclass(frozen=True)
 class PfcConfig:
@@ -68,6 +70,10 @@ class PfcIngress:
             and self.occupancy >= self.config.xoff
         ):
             self.paused_upstream = True
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("pfc.xoff_triggered").inc()
+                reg.histogram("pfc.xoff_occupancy_bytes").observe(self.occupancy)
             return True
         return False
 
@@ -83,6 +89,9 @@ class PfcIngress:
             and self.occupancy <= self.config.xon
         ):
             self.paused_upstream = False
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("pfc.xon_triggered").inc()
             return True
         return False
 

@@ -39,6 +39,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import registry as obs_registry
+from ..obs import tracer as obs_tracer
 from .engine import Simulator
 from .link import LinkSpec
 from .packet import DATA, PAUSE, RESUME, HopRecord, Packet
@@ -206,6 +208,9 @@ class Port:
                 and self.queue_bytes + pkt.size > self.max_queue_bytes
             ):
                 self.drops += 1
+                reg = obs_registry.STATS
+                if reg is not None:
+                    reg.counter("port.tail_drops").inc()
                 self._release_dropped(pkt, ingress)
                 return False
             if self.red is not None and pkt.kind == DATA:
@@ -216,6 +221,16 @@ class Port:
             self.queue_bytes += pkt.size
         if self.queue_bytes > self.max_qlen_seen:
             self.max_qlen_seen = self.queue_bytes
+            tr = obs_tracer.TRACER
+            if tr is not None:
+                # Queue high-watermark: one counter sample per new maximum
+                # renders as a rising staircase track in Perfetto.
+                tr.counter(
+                    f"qmax {self.owner.name}.p{self.index}",
+                    self.sim._now,
+                    {"bytes": self.max_qlen_seen},
+                    cat="queue",
+                )
         self.try_drain()
         return True
 
@@ -284,12 +299,18 @@ class Port:
             # execution order matches the legacy two-event schedule exactly.
             self.busy_until = now + ser
             self.tx_bytes += size
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("port.fused_deliveries").inc()
             sim.schedule_delivery(
                 self.spec.prop_delay_ns, self.busy_until, None,
                 peer.receive, pkt, self.peer_port,
             )
         else:
             self._tx_pending = True
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("port.unfused_deliveries").inc()
             sim.schedule_detached(ser, self._tx_done, pkt, ingress)
 
     def _tx_done(self, pkt: Packet, ingress: Optional["Port"]) -> None:
@@ -335,9 +356,26 @@ class Port:
     def apply_pause(self, pkt: Packet) -> None:
         """Apply a received PFC frame to this (egress) port."""
         if pkt.kind == PAUSE:
-            self.pfc_egress.pause(self.sim.now(), pkt.pause_duration)
+            now = self.sim.now()
+            self.pfc_egress.pause(now, pkt.pause_duration)
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("pfc.pauses_applied").inc()
+                reg.histogram("pfc.pause_duration_ns").observe(pkt.pause_duration)
+            tr = obs_tracer.TRACER
+            if tr is not None:
+                tr.complete(
+                    f"pfc pause {self.owner.name}.p{self.index}",
+                    now,
+                    pkt.pause_duration,
+                    cat="pfc",
+                    tid=self.owner.node_id,
+                )
         elif pkt.kind == RESUME:
             self.pfc_egress.resume()
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("pfc.resumes_applied").inc()
             self.try_drain()
 
     # -- introspection -------------------------------------------------------

@@ -17,13 +17,40 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .engine import Simulator
 from .flow import Flow
 from .host import Host
 from .port import Port
+
+#: Fixed-precision float rendering for CSV exports.  ``repr(float)`` output
+#: can vary in length (0.1 vs 0.30000000000000004), which makes diffs and
+#: golden files noisy; six decimal places is sub-nanosecond for times and
+#: sub-byte for counters.
+_FLOAT_FMT = "%.6f"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return _FLOAT_FMT % value
+    return "" if value is None else str(value)
+
+
+def rows_to_csv(fieldnames: Sequence[str], rows: Iterable[dict]) -> str:
+    """Render dict rows as CSV text with stable columns and float format.
+
+    The shared export path for every CSV the simulator produces (flow
+    tables, port samples, obs traces): column order is exactly
+    ``fieldnames``, floats are fixed-precision, missing keys render empty.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(fieldnames)
+    for row in rows:
+        writer.writerow([_format_cell(row.get(name)) for name in fieldnames])
+    return buf.getvalue()
 
 
 @dataclass
@@ -54,16 +81,20 @@ class FlowTracer:
         self.snapshots: List[FlowSnapshot] = []
         self.completed: List[Flow] = []
         self._stopped = False
+        self._event = None  # the pending self-rescheduled sample event
         for host in self.hosts:
             host.completion_callbacks.append(self._on_complete)
 
     def start(self) -> "FlowTracer":
         if self.snapshot_interval_ns is not None:
-            self.sim.schedule(0.0, self._sample)
+            self._event = self.sim.schedule(0.0, self._sample)
         return self
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending event (no heap residue)."""
         self._stopped = True
+        self.sim.cancel(self._event)
+        self._event = None
 
     def _on_complete(self, flow: Flow) -> None:
         self.completed.append(flow)
@@ -86,7 +117,7 @@ class FlowTracer:
                         pacing_rate_bps=state.cc.pacing_rate_bps,
                     )
                 )
-        self.sim.schedule(self.snapshot_interval_ns, self._sample)
+        self._event = self.sim.schedule(self.snapshot_interval_ns, self._sample)
 
     # -- export -----------------------------------------------------------------
 
@@ -105,25 +136,19 @@ class FlowTracer:
             for f in self.completed
         ]
 
+    to_csv_columns = (
+        "flow_id",
+        "src",
+        "dst",
+        "size_bytes",
+        "start_ns",
+        "finish_ns",
+        "fct_ns",
+    )
+
     def to_csv(self) -> str:
         """Completed-flow table as CSV text (write it wherever you like)."""
-        rows = self.completion_rows()
-        buf = io.StringIO()
-        writer = csv.DictWriter(
-            buf,
-            fieldnames=[
-                "flow_id",
-                "src",
-                "dst",
-                "size_bytes",
-                "start_ns",
-                "finish_ns",
-                "fct_ns",
-            ],
-        )
-        writer.writeheader()
-        writer.writerows(rows)
-        return buf.getvalue()
+        return rows_to_csv(self.to_csv_columns, self.completion_rows())
 
     def snapshots_for(self, flow_id: int) -> List[FlowSnapshot]:
         return [s for s in self.snapshots if s.flow_id == flow_id]
@@ -150,13 +175,17 @@ class PortCounterSampler:
         self.interval_ns = interval_ns
         self.samples: Dict[int, List[PortSample]] = {i: [] for i in range(len(self.ports))}
         self._stopped = False
+        self._event = None  # the pending self-rescheduled sample event
 
     def start(self) -> "PortCounterSampler":
-        self.sim.schedule(0.0, self._sample)
+        self._event = self.sim.schedule(0.0, self._sample)
         return self
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending event (no heap residue)."""
         self._stopped = True
+        self.sim.cancel(self._event)
+        self._event = None
 
     def _sample(self) -> None:
         if self._stopped:
@@ -166,7 +195,7 @@ class PortCounterSampler:
             self.samples[i].append(
                 PortSample(now, port.tx_bytes, port.queue_bytes, port.drops)
             )
-        self.sim.schedule(self.interval_ns, self._sample)
+        self._event = self.sim.schedule(self.interval_ns, self._sample)
 
     def utilization_series(self, port_index: int) -> List[tuple]:
         """(interval midpoint ns, utilization in [0, 1]) per interval."""
@@ -184,3 +213,20 @@ class PortCounterSampler:
     def peak_utilization(self, port_index: int) -> float:
         series = self.utilization_series(port_index)
         return max((u for _, u in series), default=0.0)
+
+    to_csv_columns = ("port", "time_ns", "tx_bytes", "queue_bytes", "drops")
+
+    def to_csv(self) -> str:
+        """All ports' samples as one CSV table (same exporter as flows)."""
+        rows = [
+            {
+                "port": i,
+                "time_ns": s.time_ns,
+                "tx_bytes": s.tx_bytes,
+                "queue_bytes": s.queue_bytes,
+                "drops": s.drops,
+            }
+            for i in range(len(self.ports))
+            for s in self.samples[i]
+        ]
+        return rows_to_csv(self.to_csv_columns, rows)

@@ -1,0 +1,124 @@
+"""Golden test for ``obs report`` plus CLI observability flags."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main, obs_main
+from repro.experiments.runner import clear_caches
+from repro.experiments.store import set_store
+from repro.obs.report import render_report
+from repro.obs.telemetry import validate_manifest
+
+DATA = Path(__file__).parent / "data"
+
+
+def _load(name):
+    return json.loads((DATA / name).read_text())
+
+
+class TestRenderReport:
+    def test_fixture_manifests_are_schema_valid(self):
+        for name in ("manifest_serial.json", "manifest_campaign.json"):
+            assert validate_manifest(_load(name)) == []
+
+    def test_report_matches_golden(self):
+        pairs = [
+            ("manifest_serial.json", _load("manifest_serial.json")),
+            ("manifest_campaign.json", _load("manifest_campaign.json")),
+        ]
+        text = render_report(pairs, _load("bench_fixture.json"))
+        golden = (DATA / "report_golden.txt").read_text()
+        assert text + "\n" == golden
+
+    def test_report_without_bench_omits_bench_section(self):
+        text = render_report([("m", _load("manifest_serial.json"))])
+        assert "benchmarks" not in text
+        assert "manifests (1)" in text
+
+    def test_attention_line_only_on_trouble(self):
+        clean = render_report([("m", _load("manifest_serial.json"))])
+        assert "!! attention" not in clean
+        trouble = render_report([("m", _load("manifest_campaign.json"))])
+        assert "!! attention" in trouble
+
+
+class TestObsCli:
+    def test_obs_report_subcommand(self, capsys):
+        rc = obs_main(
+            [
+                "report",
+                str(DATA / "manifest_serial.json"),
+                "--bench",
+                str(DATA / "bench_fixture.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro observability report" in out
+        assert "TOTAL" in out
+
+    def test_obs_dispatch_from_main(self, capsys):
+        rc = main(["obs", "report", str(DATA / "manifest_serial.json")])
+        assert rc == 0
+        assert "repro observability report" in capsys.readouterr().out
+
+    def test_obs_report_missing_file_fails(self, capsys):
+        rc = obs_main(["report", str(DATA / "nope.json")])
+        assert rc == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_obs_report_warns_on_invalid_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "wrong"}))
+        rc = obs_main(["report", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 0  # still renders what it can
+        assert "fails schema validation" in captured.err
+
+
+class TestTelemetryEndToEnd:
+    @pytest.fixture(autouse=True)
+    def _cold_caches(self):
+        # Earlier tests may have warmed the LRU for this figure's configs;
+        # the manifest assertions below need the runs to actually execute.
+        clear_caches()
+        yield
+        clear_caches()
+        set_store(None)
+
+    def test_cli_writes_valid_manifest_and_trace(self, tmp_path, capsys):
+        manifest_path = tmp_path / "telemetry.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            [
+                "--fig",
+                "8",
+                "--jobs",
+                "1",
+                "--store",
+                str(tmp_path / "store"),
+                "--telemetry",
+                str(manifest_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[campaign]" in out
+        assert "[telemetry] manifest ->" in out
+
+        manifest = json.loads(manifest_path.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["events_executed"] > 0
+        assert len(manifest["runs"]) == 2
+        assert {p for p in manifest["phases"]} == {"build", "simulate", "collect"}
+        assert manifest["heartbeats"]
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        phases = {ev["ph"] for ev in trace["traceEvents"]}
+        assert phases <= {"X", "i", "C"}
+        assert {"X", "C"} <= phases

@@ -1,0 +1,153 @@
+"""Unit tests for telemetry collection, manifests, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import (
+    MANIFEST_KIND,
+    SCHEMA_VERSION,
+    TelemetryCollector,
+    build_manifest,
+    load_schema,
+    validate_manifest,
+    write_manifest,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestCollector:
+    def test_phase_accumulates_across_entries(self):
+        clock = FakeClock()
+        col = TelemetryCollector(clock=clock)
+        for _ in range(3):
+            with col.phase("simulate"):
+                clock.advance(0.5)
+        assert col.phases["simulate"]["count"] == 3
+        assert col.phases["simulate"]["wall_s"] == pytest.approx(1.5)
+
+    def test_phase_records_even_on_exception(self):
+        clock = FakeClock()
+        col = TelemetryCollector(clock=clock)
+        with pytest.raises(RuntimeError):
+            with col.phase("build"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert col.phases["build"]["count"] == 1
+
+    def test_record_run_and_campaign(self):
+        col = TelemetryCollector()
+        col.record_run("incast", "d", wall_s=1.0, events=10, completed=False, pid=7)
+        col.record_campaign(
+            requested=4, unique=3, cached=1, executed=2, jobs=2, wall_s=2.0, failures=0
+        )
+        assert col.runs[0]["pid"] == 7
+        assert col.runs[0]["completed"] is False
+        assert col.campaign["unique"] == 3
+
+    def test_heartbeat_forwards_to_sink(self):
+        seen = []
+        col = TelemetryCollector(heartbeat_sink=seen.append)
+        col.heartbeat("hello")
+        assert col.heartbeats == ["hello"]
+        assert seen == ["hello"]
+
+    def test_collecting_context_restores(self):
+        assert telemetry.TELEMETRY is None
+        with telemetry.collecting() as col:
+            assert telemetry.TELEMETRY is col
+        assert telemetry.TELEMETRY is None
+
+
+class FakeStoreStats:
+    hits = 3
+    misses = 1
+    puts = 1
+    bytes_read = 100
+    bytes_written = 50
+
+
+class TestManifest:
+    def _collector(self):
+        col = TelemetryCollector()
+        col.record_run("incast", "demo", wall_s=0.5, events=100, completed=True)
+        col.record_campaign(
+            requested=2, unique=2, cached=0, executed=2, jobs=1, wall_s=1.0, failures=0
+        )
+        col.heartbeat("tick")
+        return col
+
+    def test_build_manifest_shape(self):
+        m = build_manifest(
+            self._collector(),
+            wall_s=2.0,
+            events_executed=200,
+            argv=["--fig", "8"],
+            store_stats=FakeStoreStats(),
+        )
+        assert m["schema_version"] == SCHEMA_VERSION
+        assert m["kind"] == MANIFEST_KIND
+        assert m["events_per_s"] == pytest.approx(100.0)
+        assert m["store"]["hits"] == 3
+        assert m["runs"][0]["desc"] == "demo"
+        assert m["heartbeats"] == ["tick"]
+
+    def test_build_manifest_without_collector(self):
+        m = build_manifest(None, wall_s=1.0, events_executed=0)
+        assert m["runs"] == []
+        assert m["campaign"] is None
+        assert validate_manifest(m) == []
+
+    def test_valid_manifest_passes_schema(self):
+        m = build_manifest(self._collector(), wall_s=2.0, events_executed=200)
+        assert validate_manifest(m) == []
+
+    def test_missing_required_key_fails(self):
+        m = build_manifest(self._collector(), wall_s=2.0, events_executed=200)
+        del m["events_executed"]
+        assert validate_manifest(m) != []
+
+    def test_wrong_kind_fails(self):
+        m = build_manifest(None, wall_s=1.0, events_executed=0)
+        m["kind"] = "something-else"
+        assert validate_manifest(m) != []
+
+    def test_bad_run_record_fails(self):
+        m = build_manifest(None, wall_s=1.0, events_executed=0)
+        m["runs"] = [{"kind": "incast"}]  # missing desc/wall_s/events/completed
+        assert validate_manifest(m) != []
+
+    def test_minimal_validator_agrees_on_structure(self):
+        m = build_manifest(self._collector(), wall_s=2.0, events_executed=200)
+        assert telemetry._validate_minimal(m) == []
+        del m["runs"]
+        assert telemetry._validate_minimal(m) != []
+
+    def test_schema_file_is_wellformed(self):
+        schema = load_schema()
+        assert schema["properties"]["schema_version"]["const"] == SCHEMA_VERSION
+
+    def test_write_manifest_is_stable(self, tmp_path):
+        m = build_manifest(None, wall_s=1.0, events_executed=4)
+        p1 = write_manifest(tmp_path / "a.json", m)
+        p2 = write_manifest(tmp_path / "b.json", m)
+        assert p1.read_text() == p2.read_text()
+        assert p1.read_text().endswith("\n")
+        assert json.loads(p1.read_text())["events_executed"] == 4
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    yield
+    assert telemetry.TELEMETRY is None, "a test leaked an enabled collector"

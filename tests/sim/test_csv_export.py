@@ -1,0 +1,46 @@
+"""The shared CSV exporter: stable columns, fixed floats, deduped call sites."""
+
+from repro.sim.trace import FlowTracer, PortCounterSampler, rows_to_csv
+from repro.topology.star import build_star
+
+
+class TestRowsToCsv:
+    def test_column_order_is_exactly_fieldnames(self):
+        text = rows_to_csv(("b", "a"), [{"a": 1, "b": 2}])
+        assert text == "b,a\n2,1\n"
+
+    def test_floats_render_fixed_precision(self):
+        text = rows_to_csv(("x",), [{"x": 0.1 + 0.2}])
+        assert text == "x\n0.300000\n"  # not 0.30000000000000004
+
+    def test_missing_keys_and_none_render_empty(self):
+        text = rows_to_csv(("a", "b"), [{"a": None}])
+        assert text == "a,b\n,\n"
+
+    def test_ints_and_strings_pass_through(self):
+        text = rows_to_csv(("n", "s"), [{"n": 7, "s": "hi"}])
+        assert text == "n,s\n7,hi\n"
+
+    def test_deterministic_for_equal_input(self):
+        rows = [{"t": 1.5, "v": 2}, {"t": 2.5, "v": 3}]
+        assert rows_to_csv(("t", "v"), rows) == rows_to_csv(("t", "v"), rows)
+
+
+class TestExportersShareTheHelper:
+    def test_flow_tracer_csv_header(self):
+        topo = build_star(2)
+        tracer = FlowTracer(topo.network.sim, topo.hosts)
+        text = tracer.to_csv()
+        assert text.splitlines()[0] == ",".join(FlowTracer.to_csv_columns)
+
+    def test_port_sampler_csv_rows(self):
+        topo = build_star(2)
+        net = topo.network
+        sampler = PortCounterSampler(net.sim, topo.bottleneck_ports, 100.0).start()
+        net.sim.run(until=250.0)
+        sampler.stop()
+        lines = sampler.to_csv().splitlines()
+        assert lines[0] == "port,time_ns,tx_bytes,queue_bytes,drops"
+        # 3 samples (t=0,100,200) per bottleneck port.
+        assert len(lines) == 1 + 3 * len(topo.bottleneck_ports)
+        assert lines[1].startswith("0,0.000000,")

@@ -1,0 +1,59 @@
+"""Regression: stopping a sampler must cancel its pending heap event.
+
+Before the fix, ``stop()`` only set a flag; the self-rescheduled event
+stayed live in the calendar, so ``pending_events`` never dropped and a
+run-until-empty loop would spin one extra wakeup per stopped sampler.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.monitor import GoodputMonitor, QueueMonitor
+from repro.sim.trace import FlowTracer, PortCounterSampler
+from repro.topology.star import build_star
+
+
+def test_queue_monitor_stop_cancels_pending_event():
+    topo = build_star(2)
+    sim = topo.network.sim
+    mon = QueueMonitor(sim, topo.bottleneck_ports, interval_ns=100.0).start()
+    sim.run(until=1_000.0)
+    assert sim.pending_events == 1  # the monitor's next sample
+    mon.stop()
+    assert sim.pending_events == 0
+    sim.run(until=2_000.0)
+    assert all(t <= 1_000.0 for t in mon.times)
+
+
+def test_goodput_monitor_stop_cancels_pending_event():
+    topo = build_star(2)
+    net = topo.network
+    mon = GoodputMonitor(net.sim, [], net.nodes, interval_ns=100.0).start()
+    net.sim.run(until=500.0)
+    before = net.sim.pending_events
+    mon.stop()
+    assert net.sim.pending_events == before - 1
+
+
+def test_flow_tracer_stop_cancels_pending_event():
+    topo = build_star(2)
+    net = topo.network
+    tracer = FlowTracer(net.sim, topo.hosts, snapshot_interval_ns=100.0).start()
+    net.sim.run(until=500.0)
+    before = net.sim.pending_events
+    tracer.stop()
+    assert net.sim.pending_events == before - 1
+
+
+def test_port_sampler_stop_cancels_pending_event():
+    topo = build_star(2)
+    net = topo.network
+    sampler = PortCounterSampler(net.sim, topo.bottleneck_ports, 100.0).start()
+    net.sim.run(until=500.0)
+    before = net.sim.pending_events
+    sampler.stop()
+    assert net.sim.pending_events == before - 1
+
+
+def test_stop_before_start_is_harmless():
+    sim = Simulator()
+    QueueMonitor(sim, [], interval_ns=10.0).stop()
+    assert sim.pending_events == 0

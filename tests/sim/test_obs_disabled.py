@@ -1,0 +1,58 @@
+"""Observability must never change simulation outputs.
+
+Two guarantees, same mechanism as ``test_port_fusion.py``:
+
+1. **Disabled is the default** — a bare run leaves every obs global None.
+2. **Enabled is passive** — a run with the registry, tracer, and telemetry
+   all enabled produces byte-identical series, flow times, and convergence
+   points, because recording never schedules events or draws RNG.
+"""
+
+from repro import obs
+from repro.experiments.config import scaled_incast
+from repro.experiments.runner import run_incast
+
+
+def _signature(result):
+    return (
+        result.jain_times_ns.tobytes(),
+        result.jain_values.tobytes(),
+        result.queue_times_ns.tobytes(),
+        result.queue_values_bytes.tobytes(),
+        sorted((f.flow_id, f.start_time, f.finish_time) for f in result.flows),
+        result.convergence_ns,
+        result.events_executed,
+    )
+
+
+def _run_instrumented(cfg):
+    obs.enable_all(trace_capacity=1_000_000)
+    try:
+        return run_incast(cfg)
+    finally:
+        obs.disable_all()
+
+
+def test_enabled_instrumentation_output_byte_identical():
+    # hpcc-vai-sf exercises every instrumented layer at once: INT telemetry,
+    # sampling-frequency grants, VAI token flow, and MD decision tracing.
+    for variant in ("hpcc-vai-sf", "swift"):
+        cfg = scaled_incast(variant, 8)
+        bare = run_incast(cfg)
+        instrumented = _run_instrumented(cfg)
+        assert bare.all_completed and instrumented.all_completed
+        assert _signature(bare) == _signature(instrumented)
+
+
+def test_instrumented_run_actually_recorded():
+    from repro.obs import registry, tracer
+
+    reg = registry.enable()
+    tr = tracer.enable()
+    try:
+        run_incast(scaled_incast("hpcc-vai-sf", 8))
+    finally:
+        registry.disable()
+        tracer.disable()
+    assert len(reg) > 0
+    assert tr.emitted > 0
