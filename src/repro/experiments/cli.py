@@ -23,7 +23,9 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..obs import analytics as obs_analytics
 from ..obs import registry as obs_registry
+from ..obs import regress as obs_regress
 from ..obs import telemetry as obs_telemetry
 from ..obs import tracer as obs_tracer
 from ..obs.report import render_report
@@ -134,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--analytics",
+        action="store_true",
+        help=(
+            "attach a live streaming-analytics sampler to every run "
+            "(Jain fairness + online convergence detection + P2 FCT-slowdown "
+            "percentiles); summaries land in the telemetry manifest's "
+            "'analytics' section and in [campaign] heartbeats"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -145,8 +157,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_json(path: str, what: str) -> Optional[dict]:
+    """Load a JSON file, printing a uniform error on failure."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {what} {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def obs_diff_main(args: "argparse.Namespace") -> int:
+    """``obs diff``: compare two observability artifacts, exit 1 on regression."""
+    baseline_doc = _read_json(args.baseline, "baseline")
+    current_doc = _read_json(args.current, "current")
+    if baseline_doc is None or current_doc is None:
+        return 2
+    try:
+        base_metrics, tolerances, directions = obs_regress.load_comparable(
+            baseline_doc
+        )
+        current_metrics = obs_regress.extract_metrics(current_doc)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for spec in args.tolerances or ():
+        name, _, frac = spec.partition("=")
+        try:
+            tolerances[name] = float(frac)
+        except ValueError:
+            print(f"error: bad --tolerance {spec!r} (want NAME=FRACTION)",
+                  file=sys.stderr)
+            return 2
+    deltas = obs_regress.compare(
+        base_metrics,
+        current_metrics,
+        tolerances=tolerances,
+        directions=directions,
+        default_tolerance=args.default_tolerance,
+    )
+    print(obs_regress.render_diff(deltas, verbose=args.verbose))
+    if args.append_trajectory is not None:
+        record = obs_regress.trajectory_record(
+            current_doc,
+            label=args.current,
+            extra={
+                "regressed": sum(1 for d in deltas if d.status == "regressed")
+            },
+        )
+        obs_regress.append_trajectory(args.append_trajectory, record)
+        print(f"[trajectory] appended -> {args.append_trajectory}")
+    if args.update_baseline is not None:
+        baseline = obs_regress.make_baseline(
+            current_doc,
+            tolerances=tolerances,
+            default_tolerance=args.default_tolerance,
+            source=args.current,
+        )
+        Path(args.update_baseline).write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[baseline] refreshed -> {args.update_baseline}")
+    if obs_regress.has_regression(deltas, fail_on_missing=args.fail_on_missing):
+        print("regression gate: FAIL", file=sys.stderr)
+        return 1
+    print("regression gate: ok")
+    return 0
+
+
 def obs_main(argv: List[str]) -> int:
-    """The ``repro-experiments obs`` subcommand family (currently: report)."""
+    """The ``repro-experiments obs`` subcommand family (report, diff)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments obs",
         description="Inspect observability artifacts from past invocations.",
@@ -168,7 +247,68 @@ def obs_main(argv: List[str]) -> int:
         metavar="PATH",
         help="include benchmark results (BENCH_results.json) in the report",
     )
+    diff = sub.add_parser(
+        "diff",
+        help=(
+            "compare two telemetry manifests / BENCH_results.json / baseline "
+            "files; exit 1 when any metric regressed beyond tolerance"
+        ),
+    )
+    diff.add_argument(
+        "baseline",
+        metavar="BASELINE",
+        help=(
+            "baseline artifact: a baselines file (benchmarks/baselines.json), "
+            "a telemetry manifest, or BENCH_results.json"
+        ),
+    )
+    diff.add_argument(
+        "current",
+        metavar="CURRENT",
+        help="current artifact: a telemetry manifest or BENCH_results.json",
+    )
+    diff.add_argument(
+        "--tolerance",
+        action="append",
+        dest="tolerances",
+        metavar="NAME=FRACTION",
+        help="override one metric's relative tolerance (repeatable)",
+    )
+    diff.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=obs_regress.DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+        help=(
+            "tolerance for metrics without an explicit entry "
+            f"(default: {obs_regress.DEFAULT_TOLERANCE})"
+        ),
+    )
+    diff.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="also fail when a baseline metric is absent from CURRENT",
+    )
+    diff.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every metric, not just regressions/improvements",
+    )
+    diff.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="PATH",
+        help="write a fresh baselines file derived from CURRENT to PATH",
+    )
+    diff.add_argument(
+        "--append-trajectory",
+        default=None,
+        metavar="PATH",
+        help="append CURRENT's metrics as one JSON line to PATH (BENCH trajectory)",
+    )
     args = parser.parse_args(argv)
+    if args.verb == "diff":
+        return obs_diff_main(args)
 
     pairs = []
     for path in args.manifests:
@@ -233,11 +373,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.telemetry is not None:
         obs_registry.enable()
         collector = obs_telemetry.enable()
+    analytics_agg = None
+    if args.analytics:
+        analytics_agg = obs_analytics.enable(obs_analytics.AnalyticsConfig())
     tracer = None
     if args.trace_out is not None:
         tracer = obs_tracer.enable()
     progress = None
-    if collector is not None:
+    if collector is not None or analytics_agg is not None:
         def progress(message: str) -> None:
             print(f"[campaign] {message}", flush=True)
 
@@ -318,6 +461,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"[trace] {len(tracer)} event(s) ({tracer.dropped} dropped) -> "
             f"{args.trace_out} (open in Perfetto)"
         )
+    if analytics_agg is not None and collector is None:
+        # No manifest to carry the section — print it so the numbers are
+        # not silently dropped.
+        for run in analytics_agg.section()["runs"]:
+            slowdown = run.get("slowdown") or {}
+            conv = run.get("convergence_ns")
+            conv_txt = f"{conv / 1e6:.3f}ms" if conv is not None else "never"
+            p999 = slowdown.get("p999_slowdown")
+            p999_txt = f"{p999:.2f}" if p999 is not None else "-"
+            print(
+                f"[analytics] {run['desc']}: jain={run['jain']:.3f} "
+                f"conv={conv_txt} p999-slowdown={p999_txt} "
+                f"({run['flows_completed']}/{run['flows']} flows, "
+                f"{run['samples']} samples)"
+            )
     if collector is not None:
         # Pool workers execute their events in other processes; their run
         # records carry the counts, so fold them into the process total.
@@ -337,6 +495,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 else None
             ),
             trace=tracer,
+            analytics=(
+                analytics_agg.section() if analytics_agg is not None else None
+            ),
         )
         errors = obs_telemetry.validate_manifest(manifest)
         if errors:
@@ -352,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Leave the process as we found it for in-process callers (tests).
     if tracer is not None:
         obs_tracer.disable()
+    if analytics_agg is not None:
+        obs_analytics.disable()
     if collector is not None:
         obs_telemetry.disable()
         obs_registry.disable()

@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs import analytics as obs_analytics
 from ..obs import telemetry as obs_telemetry
 from ..sim.network import RunBudget
 from .config import (
@@ -65,15 +66,42 @@ def run_config(cfg: AnyConfig) -> Any:
     raise TypeError(f"not a runnable config: {type(cfg).__name__}")
 
 
-def _worker_init(budget: Optional[RunBudget]) -> None:
-    """Pool initializer: re-install the parent's per-run watchdog budget."""
+def _worker_init(
+    budget: Optional[RunBudget],
+    analytics_config: Optional["obs_analytics.AnalyticsConfig"] = None,
+) -> None:
+    """Pool initializer: re-install the parent's watchdog and analytics.
+
+    Live analytics is a per-process switch; without this, pool runs would
+    silently come back without streaming summaries while serial runs carry
+    them.  The worker's aggregator itself is discarded — the per-run
+    summary rides home on the result object and the parent re-records it.
+    """
     set_default_budget(budget)
+    if analytics_config is not None:
+        obs_analytics.enable(analytics_config)
 
 
 def _describe(cfg: Any) -> str:
     """Progress label for a config (anything with cache_key() is runnable)."""
     describe = getattr(cfg, "describe", None)
     return describe() if callable(describe) else type(cfg).__name__
+
+
+def _analytics_suffix(live: Optional[Dict[str, Any]]) -> str:
+    """Compact live-analytics fields for a campaign heartbeat line."""
+    if not live:
+        return ""
+    conv = live.get("convergence_ns")
+    parts = [
+        f"jain={live.get('jain', float('nan')):.3f}",
+        f"conv={conv / 1e6:.3f}ms" if conv is not None else "conv=-",
+    ]
+    slowdown = live.get("slowdown") or {}
+    p999 = slowdown.get("p999_slowdown")
+    if p999 is not None:
+        parts.append(f"p999-slowdown={p999:.2f}")
+    return " [" + " ".join(parts) + "]"
 
 
 @dataclass
@@ -196,10 +224,14 @@ def run_campaign(
             futures = [(cfg, None) for cfg in pending]
             pool = None
         else:
+            parent_agg = obs_analytics.ANALYTICS
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending)),
                 initializer=_worker_init,
-                initargs=(budget,),
+                initargs=(
+                    budget,
+                    parent_agg.config if parent_agg is not None else None,
+                ),
             )
             futures = [(cfg, pool.submit(_run_config_timed, cfg)) for cfg in pending]
         done = 0
@@ -232,6 +264,17 @@ def run_campaign(
                 results[cfg.cache_key()] = result
                 stats.executed += 1
                 done += 1
+                live = getattr(result, "analytics", None)
+                if envelope is not None and live is not None:
+                    # The worker's aggregator died with the worker; re-record
+                    # the summary that rode home on the result object.
+                    agg = obs_analytics.ANALYTICS
+                    if agg is not None:
+                        agg.record(
+                            "incast" if isinstance(cfg, IncastConfig) else "datacenter",
+                            _describe(cfg),
+                            live,
+                        )
                 if envelope is None:
                     _announce(progress, f"[{done}/{len(pending)}] {_describe(cfg)} done")
                 else:
@@ -250,7 +293,7 @@ def run_campaign(
                         progress,
                         f"[{done}/{len(pending)}] {_describe(cfg)} done in "
                         f"{envelope.wall_s:.2f}s ({envelope.events} events, "
-                        f"pid {envelope.pid})",
+                        f"pid {envelope.pid})" + _analytics_suffix(live),
                     )
         finally:
             if pool is not None:

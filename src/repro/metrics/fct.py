@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.analytics import SLOWDOWN_PERCENTILES, percentile_key
 from ..sim.flow import Flow
 from ..sim.network import Network
 from ..sim.packet import ACK_BYTES, HEADER_BYTES
@@ -145,15 +146,21 @@ def tail_slowdown_above(
 
 
 def summarize(records: Sequence[FlowRecord]) -> dict:
-    """Overall summary statistics used by reports and tests."""
+    """Overall summary statistics used by reports and tests.
+
+    Percentile keys come from the shared definitions in
+    :mod:`repro.obs.analytics` (``SLOWDOWN_PERCENTILES``), so this exact
+    NumPy path and the streaming P² path report under identical names —
+    the cross-validation tests and the regression gate compare them 1:1.
+    """
     if not records:
         return {"count": 0}
     slows = np.array([r.slowdown for r in records])
-    return {
+    out = {
         "count": len(records),
         "mean_slowdown": float(slows.mean()),
-        "p50_slowdown": float(np.percentile(slows, 50)),
-        "p99_slowdown": float(np.percentile(slows, 99)),
-        "p999_slowdown": float(np.percentile(slows, 99.9)),
-        "max_slowdown": float(slows.max()),
     }
+    for p in SLOWDOWN_PERCENTILES:
+        out[f"{percentile_key(p)}_slowdown"] = float(np.percentile(slows, p))
+    out["max_slowdown"] = float(slows.max())
+    return out

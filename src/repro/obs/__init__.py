@@ -1,29 +1,43 @@
 """repro.obs — the unified observability layer.
 
-Three cooperating facilities, each consulted through one module-level
+Five cooperating facilities, each consulted through one module-level
 ``None``-able global so that disabled instrumentation costs a single
 attribute read on hot paths (the ``Port.fault_hook`` idiom):
 
 * :mod:`repro.obs.registry` — named counters/gauges/histograms registered
-  by the engine, port, host, PFC, fault, and congestion-control layers;
+  by the engine, port, host, PFC, fault, and congestion-control layers
+  (histograms carry P² streaming percentiles);
 * :mod:`repro.obs.tracer` — typed spans/instants in a bounded ring buffer,
   exportable as Chrome ``trace_event`` JSON (Perfetto) or CSV;
 * :mod:`repro.obs.telemetry` — run/campaign manifests (wall time, event
   counts, phase timings, store hit rates, heartbeats) validated against a
-  checked-in JSON schema, rendered by :mod:`repro.obs.report`.
+  checked-in JSON schema, rendered by :mod:`repro.obs.report`;
+* :mod:`repro.obs.analytics` — **live** convergence/tail-latency
+  estimates: O(1)-memory streaming quantiles, per-flow rate EWMAs, an
+  online Jain-index convergence detector, and FCT-slowdown percentiles
+  updated as flows complete;
+* :mod:`repro.obs.regress` — the ``obs diff`` regression gate comparing
+  manifests/bench results against checked-in baselines.
 
-Everything here is **passive**: enabling any of it never schedules events,
-draws random numbers, or perturbs simulation state, so instrumented runs
-are byte-identical to bare ones (``tests/sim/test_obs_disabled.py``).
+The registry, tracer, and telemetry layers are **passive**: enabling them
+never schedules events, draws random numbers, or perturbs simulation
+state, so instrumented runs are byte-identical to bare ones
+(``tests/sim/test_obs_disabled.py``).  Analytics is the one *active*
+member — its periodic sampler schedules its own wakeup events (recording
+itself stays read-only, so flow times and series are still byte-identical;
+only ``events_executed`` grows) — which is why :func:`enable_all` leaves
+it off and it must be enabled explicitly.
 """
 
-from . import registry, telemetry, tracer
+from . import analytics, registry, regress, telemetry, tracer
 from .registry import Counter, Gauge, Histogram, Registry
 from .telemetry import TelemetryCollector, build_manifest, validate_manifest
 from .tracer import EventTracer
 
 __all__ = [
+    "analytics",
     "registry",
+    "regress",
     "tracer",
     "telemetry",
     "Counter",
@@ -38,7 +52,12 @@ __all__ = [
 
 
 def enable_all(*, trace_capacity: int = tracer.DEFAULT_CAPACITY) -> None:
-    """Turn on registry, tracer, and telemetry together (CLI convenience)."""
+    """Turn on registry, tracer, and telemetry together (CLI convenience).
+
+    Deliberately does *not* enable :mod:`repro.obs.analytics` — the live
+    sampler schedules events, so it stays a separate, explicit switch
+    (``repro-experiments --analytics`` / ``analytics.enable()``).
+    """
     registry.enable()
     tracer.enable(capacity=trace_capacity)
     telemetry.enable()

@@ -33,6 +33,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from .analytics import P2Quantile, percentile_key
+
+#: Percentiles every histogram summary reports (P² streaming estimates).
+HISTOGRAM_PERCENTILES = (50.0, 95.0, 99.0)
+
 
 class Counter:
     """A monotonically increasing value (float so token fractions count too)."""
@@ -71,13 +76,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations: count/total/min/max (no buckets).
+    """Streaming summary of observations: count/total/min/max + percentiles.
 
-    Buckets would force a per-layer bucket-boundary negotiation; the trace
-    layer (:mod:`repro.obs.tracer`) is the tool for full distributions.
+    Percentiles come from O(1)-memory P² estimators
+    (:class:`repro.obs.analytics.P2Quantile`) — exact below five
+    observations, approximate after — so no bucket boundaries need
+    negotiating between layers.  The trace layer (:mod:`repro.obs.tracer`)
+    remains the tool for full distributions.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_quantiles")
 
     def __init__(self, name: str):
         self.name = name
@@ -85,6 +93,9 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._quantiles = tuple(
+            (p, P2Quantile(p / 100.0)) for p in HISTOGRAM_PERCENTILES
+        )
 
     def observe(self, v: float) -> None:
         self.count += 1
@@ -93,21 +104,36 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        for _, est in self._quantiles:
+            est.observe(v)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Streaming estimate of percentile ``p`` (NaN with no data)."""
+        for q, est in self._quantiles:
+            if q == p:
+                return est.value()
+        raise KeyError(f"histogram tracks {HISTOGRAM_PERCENTILES}, not {p}")
+
     def summary(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
+            out = {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            out.update({percentile_key(p): 0.0 for p, _ in self._quantiles})
+            return out
+        out = {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        out.update(
+            {percentile_key(p): est.value() for p, est in self._quantiles}
+        )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"

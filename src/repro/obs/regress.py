@@ -1,0 +1,333 @@
+"""Performance/metric regression gate over observability artifacts.
+
+``repro-experiments obs diff BASELINE CURRENT`` compares two artifacts —
+telemetry manifests (``--telemetry``), benchmark results
+(``BENCH_results.json``), or a checked-in baseline file
+(``benchmarks/baselines.json``) — metric by metric with per-metric relative
+tolerances, and exits non-zero when anything regressed.  CI wires this
+between the bench smoke and the artifact upload so the BENCH trajectory
+cannot silently decay.
+
+Three document shapes are understood, detected by content:
+
+* **baseline files** (``kind: repro-baselines``) carry explicit
+  ``{value, tolerance, direction}`` triples per metric — the gate's
+  source of truth, refreshed via ``obs diff --update-baseline``;
+* **bench results** (a ``benchmarks`` + ``total`` object from
+  ``benchmarks/conftest.py``) flatten to ``total.*`` and
+  ``bench.<name>.*`` scalars;
+* **telemetry manifests** (``kind: repro-telemetry``) flatten to
+  wall/event totals, per-phase wall time, and — when the manifest has a
+  v2 ``analytics`` section — the paper's own metrics (convergence time,
+  streaming slowdown percentiles) per run, so the gate can catch *metric*
+  regressions, not just performance ones.
+
+Tolerance semantics: ``tolerance`` is the allowed relative change in the
+*bad* direction.  ``direction`` is ``lower`` (lower is better: wall time,
+convergence, slowdown), ``higher`` (higher is better: events/s), or
+``near`` (any drift beyond the tolerance band is suspect: deterministic
+event counts).  Improvements never fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+BASELINE_KIND = "repro-baselines"
+BASELINE_SCHEMA_VERSION = 1
+
+#: Fallback relative tolerance when a metric has no explicit entry.
+DEFAULT_TOLERANCE = 0.25
+
+#: Direction defaults by metric-name suffix (first match wins).
+_DIRECTION_SUFFIXES = (
+    ("wall_s", "lower"),
+    ("events_per_s", "higher"),
+    ("events_executed", "near"),
+    ("events", "near"),
+    ("convergence_ns", "lower"),
+    ("_slowdown", "lower"),
+    ("samples", "near"),
+)
+
+VALID_DIRECTIONS = ("lower", "higher", "near")
+
+
+def default_direction(name: str) -> str:
+    for suffix, direction in _DIRECTION_SUFFIXES:
+        if name.endswith(suffix):
+            return direction
+    return "lower"
+
+
+def _slug(text: str) -> str:
+    """A metric-key-safe rendering of a run description."""
+    return re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_").lower()
+
+
+# ---------------------------------------------------------------------------
+# Metric extraction
+# ---------------------------------------------------------------------------
+
+
+def _put(metrics: Dict[str, float], name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return
+    v = float(value)
+    if math.isnan(v) or math.isinf(v):
+        return
+    metrics[name] = v
+
+
+def extract_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a bench-results or telemetry-manifest document to scalars.
+
+    Baseline files are *not* accepted here — use :func:`load_comparable`,
+    which also returns their tolerances.
+    """
+    if doc.get("kind") == BASELINE_KIND:
+        raise ValueError("baseline files carry metrics already; use load_comparable")
+    metrics: Dict[str, float] = {}
+    if "benchmarks" in doc or ("total" in doc and "kind" not in doc):
+        total = doc.get("total") or {}
+        for key in ("wall_s", "events", "events_per_s"):
+            _put(metrics, f"total.{key}", total.get(key))
+        for name, rec in sorted((doc.get("benchmarks") or {}).items()):
+            for key in ("wall_s", "events", "events_per_s"):
+                _put(metrics, f"bench.{_slug(name)}.{key}", (rec or {}).get(key))
+        return metrics
+    if doc.get("kind") == "repro-telemetry" or "events_executed" in doc:
+        for key in ("wall_s", "events_executed", "events_per_s"):
+            _put(metrics, key, doc.get(key))
+        for name, entry in sorted((doc.get("phases") or {}).items()):
+            _put(metrics, f"phase.{_slug(name)}.wall_s", (entry or {}).get("wall_s"))
+        for run in (doc.get("analytics") or {}).get("runs") or ():
+            prefix = f"analytics.{_slug(run.get('desc', '?'))}"
+            _put(metrics, f"{prefix}.convergence_ns", run.get("convergence_ns"))
+            _put(metrics, f"{prefix}.jain", run.get("jain"))
+            for key, value in (run.get("slowdown") or {}).items():
+                if key != "count":
+                    _put(metrics, f"{prefix}.{key}", value)
+        return metrics
+    raise ValueError(
+        "unrecognized document: expected a telemetry manifest "
+        "(kind=repro-telemetry), BENCH_results.json, or a baselines file"
+    )
+
+
+def load_comparable(
+    doc: Dict[str, Any],
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, str]]:
+    """``(metrics, tolerances, directions)`` from any supported document.
+
+    Non-baseline documents return empty tolerance/direction maps (the
+    caller's CLI flags and the suffix defaults apply instead).
+    """
+    if doc.get("kind") == BASELINE_KIND:
+        metrics: Dict[str, float] = {}
+        tolerances: Dict[str, float] = {}
+        directions: Dict[str, str] = {}
+        for name, entry in (doc.get("metrics") or {}).items():
+            _put(metrics, name, entry.get("value"))
+            if name not in metrics:
+                continue
+            if "tolerance" in entry:
+                tolerances[name] = float(entry["tolerance"])
+            direction = entry.get("direction")
+            if direction is not None:
+                if direction not in VALID_DIRECTIONS:
+                    raise ValueError(
+                        f"baseline metric {name!r}: direction must be one of "
+                        f"{VALID_DIRECTIONS}, got {direction!r}"
+                    )
+                directions[name] = direction
+        return metrics, tolerances, directions
+    return extract_metrics(doc), {}, {}
+
+
+def make_baseline(
+    doc: Dict[str, Any],
+    *,
+    tolerances: Optional[Dict[str, float]] = None,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    source: str = "",
+) -> Dict[str, Any]:
+    """A fresh baselines document from a bench/manifest document."""
+    metrics = extract_metrics(doc)
+    tolerances = tolerances or {}
+    return {
+        "kind": BASELINE_KIND,
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "source": source,
+        "metrics": {
+            name: {
+                "value": value,
+                "tolerance": tolerances.get(name, default_tolerance),
+                "direction": default_direction(name),
+            }
+            for name, value in sorted(metrics.items())
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    baseline: float
+    current: Optional[float]
+    tolerance: float
+    direction: str
+    status: str  # "ok" | "regressed" | "improved" | "missing"
+
+    @property
+    def change(self) -> Optional[float]:
+        """Relative change (current - baseline) / |baseline| (None if missing)."""
+        if self.current is None:
+            return None
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else math.inf
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+def _classify(
+    baseline: float, current: float, tolerance: float, direction: str
+) -> str:
+    if baseline == 0.0:
+        change = 0.0 if current == 0.0 else math.copysign(math.inf, current)
+    else:
+        change = (current - baseline) / abs(baseline)
+    if direction == "lower":
+        if change > tolerance:
+            return "regressed"
+        return "improved" if change < -tolerance else "ok"
+    if direction == "higher":
+        if change < -tolerance:
+            return "regressed"
+        return "improved" if change > tolerance else "ok"
+    # "near": drift in either direction beyond the band is a regression.
+    return "regressed" if abs(change) > tolerance else "ok"
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    *,
+    tolerances: Optional[Dict[str, float]] = None,
+    directions: Optional[Dict[str, str]] = None,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> List[MetricDelta]:
+    """Per-metric deltas for every baseline metric, sorted worst-first.
+
+    Metrics present only in ``current`` are ignored (new metrics cannot
+    regress); metrics missing from ``current`` get status ``missing``.
+    """
+    tolerances = tolerances or {}
+    directions = directions or {}
+    deltas: List[MetricDelta] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        tol = tolerances.get(name, default_tolerance)
+        direction = directions.get(name, default_direction(name))
+        cur = current.get(name)
+        if cur is None:
+            status = "missing"
+        else:
+            status = _classify(base, cur, tol, direction)
+        deltas.append(
+            MetricDelta(
+                name=name,
+                baseline=base,
+                current=cur,
+                tolerance=tol,
+                direction=direction,
+                status=status,
+            )
+        )
+    order = {"regressed": 0, "missing": 1, "improved": 2, "ok": 3}
+    deltas.sort(key=lambda d: (order[d.status], d.name))
+    return deltas
+
+
+def has_regression(deltas: List[MetricDelta], *, fail_on_missing: bool = False) -> bool:
+    bad = {"regressed", "missing"} if fail_on_missing else {"regressed"}
+    return any(d.status in bad for d in deltas)
+
+
+def render_diff(deltas: List[MetricDelta], *, verbose: bool = False) -> str:
+    """Aligned text table of the comparison (regressions first).
+
+    With ``verbose=False`` only non-``ok`` rows are listed individually;
+    the ``ok`` rows collapse into a count line.
+    """
+    # Local import mirrors report.py: obs stays importable from the
+    # simulator layers without dragging in the experiments stack.
+    from ..experiments.reporting import format_table
+
+    shown = [d for d in deltas if verbose or d.status != "ok"]
+    lines = ["=== repro regression gate ==="]
+    counts = {"regressed": 0, "missing": 0, "improved": 0, "ok": 0}
+    for d in deltas:
+        counts[d.status] += 1
+    lines.append(
+        f"{len(deltas)} metric(s): {counts['regressed']} regressed, "
+        f"{counts['missing']} missing, {counts['improved']} improved, "
+        f"{counts['ok']} ok"
+    )
+    if shown:
+        rows = []
+        for d in shown:
+            change = d.change
+            rows.append(
+                (
+                    d.status.upper() if d.status == "regressed" else d.status,
+                    d.name,
+                    f"{d.baseline:g}",
+                    "-" if d.current is None else f"{d.current:g}",
+                    "-" if change is None else f"{change:+.1%}",
+                    f"±{d.tolerance:.0%}" if d.direction == "near"
+                    else f"{d.tolerance:.0%}",
+                    d.direction,
+                )
+            )
+        lines.append(
+            format_table(
+                ("status", "metric", "baseline", "current", "change", "tol", "dir"),
+                rows,
+            )
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trajectory (one JSON line per gated run; CI appends on every main build)
+# ---------------------------------------------------------------------------
+
+
+def trajectory_record(
+    doc: Dict[str, Any], *, label: str = "", extra: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """One BENCH-trajectory entry: the flattened metrics plus provenance."""
+    record: Dict[str, Any] = {"label": label, "metrics": extract_metrics(doc)}
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_trajectory(path: Any, record: Dict[str, Any]) -> Path:
+    """Append one record to a JSON-lines trajectory file."""
+    out = Path(path)
+    with out.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return out

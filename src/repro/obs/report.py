@@ -28,6 +28,14 @@ def _hit_pct(hits: int, misses: int) -> str:
     return f"{100.0 * hits / total:.0f}%" if total else "-"
 
 
+def _fmt_opt(v: Any, fmt: str = "{:.2f}") -> str:
+    return fmt.format(v) if isinstance(v, (int, float)) else "-"
+
+
+def _fmt_conv(conv_ns: Any) -> str:
+    return f"{conv_ns / 1e6:.3f}" if isinstance(conv_ns, (int, float)) else "never"
+
+
 def render_report(
     manifests: Sequence[Tuple[str, Dict[str, Any]]],
     bench: Optional[Dict[str, Any]] = None,
@@ -110,6 +118,80 @@ def render_report(
                     for label, r in runs
                 ],
             )
+        )
+
+    # -- histograms (P² percentiles from the instrumentation registry) ----
+    hist_rows = []
+    for label, m in manifests:
+        histograms = (m.get("counters") or {}).get("histograms") or {}
+        for name in sorted(histograms):
+            h = histograms[name]
+            hist_rows.append(
+                (
+                    label,
+                    name,
+                    int(h.get("count", 0)),
+                    _fmt_opt(h.get("mean"), "{:.3g}"),
+                    _fmt_opt(h.get("p50"), "{:.3g}"),
+                    _fmt_opt(h.get("p95"), "{:.3g}"),
+                    _fmt_opt(h.get("p99"), "{:.3g}"),
+                )
+            )
+    if hist_rows:
+        out.append(f"\n-- histograms ({len(hist_rows)})")
+        out.append(
+            format_table(
+                ("manifest", "histogram", "count", "mean", "p50", "p95", "p99"),
+                hist_rows,
+            )
+        )
+
+    # -- live analytics (schema v2) ----------------------------------------
+    analytics_rows = []
+    missing_analytics = []
+    for label, m in manifests:
+        section = m.get("analytics")
+        if not section:
+            missing_analytics.append((label, m.get("schema_version", "?")))
+            continue
+        for run in section.get("runs") or ():
+            slowdown = run.get("slowdown") or {}
+            analytics_rows.append(
+                (
+                    label,
+                    run.get("desc", "?"),
+                    run.get("samples", 0),
+                    f"{run.get('flows_completed', 0)}/{run.get('flows', 0)}",
+                    _fmt_opt(run.get("jain"), "{:.3f}"),
+                    _fmt_conv(run.get("convergence_ns")),
+                    _fmt_opt(slowdown.get("p50_slowdown")),
+                    _fmt_opt(slowdown.get("p99_slowdown")),
+                    _fmt_opt(slowdown.get("p999_slowdown")),
+                )
+            )
+    if analytics_rows:
+        out.append(f"\n-- live analytics ({len(analytics_rows)} run(s))")
+        out.append(
+            format_table(
+                (
+                    "manifest",
+                    "run",
+                    "samples",
+                    "flows",
+                    "jain",
+                    "conv_ms",
+                    "p50-slow",
+                    "p99-slow",
+                    "p999-slow",
+                ),
+                analytics_rows,
+            )
+        )
+    if missing_analytics:
+        labels = ", ".join(label for label, _ in missing_analytics)
+        out.append(
+            f"\n(note: no live-analytics section in {labels} — pre-v2 manifest "
+            "or analytics disabled; re-run with --analytics to collect it)"
         )
 
     failures = sum(

@@ -25,7 +25,11 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 1
+#: Manifest schema revisions this codebase understands.  Version 2 added
+#: the ``analytics`` section (streaming convergence/tail estimates); version
+#: 1 manifests remain valid and render with a clear "no analytics" note.
+KNOWN_SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSION = 2
 MANIFEST_KIND = "repro-telemetry"
 
 _SCHEMA_PATH = Path(__file__).with_name("telemetry_schema.json")
@@ -163,12 +167,14 @@ def build_manifest(
     store_stats: Optional[Any] = None,
     counters: Optional[Dict[str, Any]] = None,
     trace: Optional[Any] = None,
+    analytics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a schema-conformant manifest dict.
 
     ``store_stats`` is a :class:`repro.experiments.store.StoreStats` (duck-
     typed), ``counters`` a :meth:`Registry.snapshot` dict, ``trace`` an
-    :class:`repro.obs.tracer.EventTracer`.
+    :class:`repro.obs.tracer.EventTracer`, ``analytics`` an
+    :meth:`repro.obs.analytics.AnalyticsAggregator.section` dict.
     """
     store = None
     if store_stats is not None:
@@ -204,6 +210,7 @@ def build_manifest(
         "store": store,
         "counters": counters,
         "trace": trace_info,
+        "analytics": analytics,
         "heartbeats": list(collector.heartbeats) if collector is not None else [],
     }
 
@@ -234,8 +241,8 @@ def _validate_minimal(manifest: Dict[str, Any]) -> List[str]:
             errors.append(f"missing required key {key!r}")
         elif not isinstance(manifest[key], typ) or isinstance(manifest[key], bool):
             errors.append(f"{key!r} has wrong type {type(manifest[key]).__name__}")
-    if manifest.get("schema_version") not in (None, SCHEMA_VERSION):
-        errors.append(f"schema_version must be {SCHEMA_VERSION}")
+    if manifest.get("schema_version") not in (None, *KNOWN_SCHEMA_VERSIONS):
+        errors.append(f"schema_version must be one of {KNOWN_SCHEMA_VERSIONS}")
     if manifest.get("kind") not in (None, MANIFEST_KIND):
         errors.append(f"kind must be {MANIFEST_KIND!r}")
     for i, run in enumerate(manifest.get("runs") or []):

@@ -17,7 +17,49 @@ from .flow import Flow
 from .port import Port
 
 
-class QueueMonitor:
+class PeriodicSampler:
+    """A self-rescheduling fixed-interval callback — the monitor pattern.
+
+    The first tick fires at the current simulation time, then every
+    ``interval_ns`` after.  ``stop()`` cancels the pending heap event so a
+    run-until-empty loop never spins an extra wakeup (the regression
+    ``tests/sim/test_monitor_stop.py`` guards).
+
+    Both monitors below subclass this; external samplers (the live
+    analytics ticker in :mod:`repro.obs.analytics`) compose with it by
+    passing any zero-argument callable as ``fn``.
+    """
+
+    def __init__(self, sim: Simulator, interval_ns: float, fn=None):
+        if interval_ns <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self._fn = fn if fn is not None else self._sample
+        self._stopped = False
+        self._event = None  # the pending self-rescheduled sample event
+
+    def start(self) -> "PeriodicSampler":
+        self._event = self.sim.schedule(0.0, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling and cancel the pending event (no heap residue)."""
+        self._stopped = True
+        self.sim.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._fn()
+        self._event = self.sim.schedule(self.interval_ns, self._tick)
+
+    def _sample(self) -> None:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+
+class QueueMonitor(PeriodicSampler):
     """Samples the queue occupancy of one or more ports at a fixed interval."""
 
     def __init__(
@@ -28,37 +70,19 @@ class QueueMonitor:
         *,
         aggregate: str = "sum",
     ):
-        if interval_ns <= 0:
-            raise ValueError("sampling interval must be positive")
         if aggregate not in ("sum", "max"):
             raise ValueError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
-        self.sim = sim
+        super().__init__(sim, interval_ns)
         self.ports = list(ports)
-        self.interval_ns = interval_ns
         self.aggregate = aggregate
         self.times: List[float] = []
         self.values: List[float] = []
-        self._stopped = False
-        self._event = None  # the pending self-rescheduled sample event
-
-    def start(self) -> "QueueMonitor":
-        self._event = self.sim.schedule(0.0, self._sample)
-        return self
-
-    def stop(self) -> None:
-        """Stop sampling and cancel the pending event (no heap residue)."""
-        self._stopped = True
-        self.sim.cancel(self._event)
-        self._event = None
 
     def _sample(self) -> None:
-        if self._stopped:
-            return
         qlens = [p.queue_bytes for p in self.ports]
         value = max(qlens) if self.aggregate == "max" else sum(qlens)
         self.times.append(self.sim.now())
         self.values.append(value)
-        self._event = self.sim.schedule(self.interval_ns, self._sample)
 
     def series(self) -> tuple:
         """(times_ns, queue_bytes) as NumPy arrays."""
@@ -71,7 +95,7 @@ class QueueMonitor:
         return float(np.mean(self.values)) if self.values else 0.0
 
 
-class GoodputMonitor:
+class GoodputMonitor(PeriodicSampler):
     """Samples per-flow delivered bytes to derive goodput time series.
 
     ``received`` counters live on the destination host's receiver state; the
@@ -86,37 +110,19 @@ class GoodputMonitor:
         nodes: Sequence,
         interval_ns: float,
     ):
-        if interval_ns <= 0:
-            raise ValueError("sampling interval must be positive")
-        self.sim = sim
+        super().__init__(sim, interval_ns)
         self.flows = list(flows)
         self.nodes = nodes
-        self.interval_ns = interval_ns
         self.times: List[float] = []
         self.samples: List[List[int]] = []  # delivered bytes per flow
-        self._stopped = False
-        self._event = None  # the pending self-rescheduled sample event
-
-    def start(self) -> "GoodputMonitor":
-        self._event = self.sim.schedule(0.0, self._sample)
-        return self
-
-    def stop(self) -> None:
-        """Stop sampling and cancel the pending event (no heap residue)."""
-        self._stopped = True
-        self.sim.cancel(self._event)
-        self._event = None
 
     def _delivered(self, flow: Flow) -> int:
         receiver = self.nodes[flow.dst].receivers.get(flow.flow_id)
         return receiver.received if receiver is not None else 0
 
     def _sample(self) -> None:
-        if self._stopped:
-            return
         self.times.append(self.sim.now())
         self.samples.append([self._delivered(f) for f in self.flows])
-        self._event = self.sim.schedule(self.interval_ns, self._sample)
 
     def rates_bps(self) -> tuple:
         """Per-interval goodput for each flow.

@@ -20,17 +20,39 @@ def _load(name):
 
 class TestRenderReport:
     def test_fixture_manifests_are_schema_valid(self):
-        for name in ("manifest_serial.json", "manifest_campaign.json"):
+        for name in (
+            "manifest_serial.json",
+            "manifest_campaign.json",
+            "manifest_analytics.json",
+        ):
             assert validate_manifest(_load(name)) == []
 
     def test_report_matches_golden(self):
         pairs = [
             ("manifest_serial.json", _load("manifest_serial.json")),
             ("manifest_campaign.json", _load("manifest_campaign.json")),
+            ("manifest_analytics.json", _load("manifest_analytics.json")),
         ]
         text = render_report(pairs, _load("bench_fixture.json"))
         golden = (DATA / "report_golden.txt").read_text()
         assert text + "\n" == golden
+
+    def test_pre_v2_manifests_degrade_with_note(self):
+        # PR 3 (schema v1) manifests have no analytics section: the report
+        # must render without crashing and say why the section is absent.
+        text = render_report([("old.json", _load("manifest_serial.json"))])
+        assert "live analytics" not in text
+        assert "no live-analytics section in old.json" in text
+        assert "--analytics" in text
+
+    def test_analytics_sections_rendered(self):
+        text = render_report([("m", _load("manifest_analytics.json"))])
+        assert "-- live analytics (2 run(s))" in text
+        assert "0.950" in text  # convergence in ms
+        assert "never" in text  # null convergence renders as 'never'
+        assert "-- histograms (1)" in text
+        assert "port.queue_depth_bytes" in text
+        assert "(note:" not in text
 
     def test_report_without_bench_omits_bench_section(self):
         text = render_report([("m", _load("manifest_serial.json"))])

@@ -107,6 +107,26 @@ class TestConvergenceTime:
         idx = np.full(5, 0.5)
         assert convergence_time_ns(t, idx) is None
 
+    def test_empty_series(self):
+        assert convergence_time_ns(np.array([]), np.array([])) is None
+
+    def test_single_sample_with_sustain_one(self):
+        t = np.array([30.0])
+        assert convergence_time_ns(t, np.array([0.99]), sustain_samples=1) == 30.0
+        assert convergence_time_ns(t, np.array([0.5]), sustain_samples=1) is None
+
+    def test_single_sample_cannot_sustain_longer_run(self):
+        t = np.array([30.0])
+        idx = np.array([0.99])
+        assert convergence_time_ns(t, idx, sustain_samples=2) is None
+
+    def test_after_ns_breaks_straddling_run(self):
+        # Samples above threshold both sides of after_ns: only the ones at
+        # or after it may count toward the dwell.
+        t = np.arange(6) * 10.0
+        idx = np.ones(6)
+        assert convergence_time_ns(t, idx, after_ns=25.0, sustain_samples=3) == 30.0
+
 
 class TestIdealFct:
     def _net(self):

@@ -67,6 +67,18 @@ class TestResample:
         with pytest.raises(ValueError):
             resample(np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]))
 
+    def test_single_sample_holds_everywhere(self):
+        # One sample: its value holds over the whole grid, including grid
+        # points before the sample time (first-value backfill).
+        out = resample(
+            np.array([10.0]), np.array([7.0]), np.array([0.0, 10.0, 99.0])
+        )
+        assert np.array_equal(out, [7.0, 7.0, 7.0])
+
+    def test_empty_grid(self):
+        out = resample(np.array([0.0]), np.array([1.0]), np.array([]))
+        assert out.size == 0
+
 
 class TestEcdf:
     def test_simple(self):
@@ -123,6 +135,16 @@ class TestFirstCrossing:
 
     def test_empty(self):
         assert first_crossing(np.array([]), np.array([]), 1.0) is None
+
+    def test_single_sample_qualifying(self):
+        # The first sample already at/above threshold counts as a crossing.
+        assert first_crossing(np.array([5.0]), np.array([2.0]), 1.0) == 5.0
+        assert first_crossing(np.array([5.0]), np.array([0.5]), 1.0) is None
+
+    def test_exact_threshold_counts(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 1.0])
+        assert first_crossing(t, v, 1.0) == 1.0
 
 
 class TestNormalize:

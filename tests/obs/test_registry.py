@@ -44,7 +44,27 @@ class TestHistogram:
 
     def test_empty_summary_is_all_zero(self):
         s = Histogram("x").summary()
-        assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        assert s == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_summary_percentiles_from_p2_estimators(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0.0, 1000.0, 2000)
+        h = Histogram("x")
+        for v in data:
+            h.observe(float(v))
+        s = h.summary()
+        for p in (50, 95, 99):
+            exact = float(np.percentile(data, p))
+            assert s[f"p{p}"] == pytest.approx(exact, rel=0.05)
+            assert h.percentile(float(p)) == s[f"p{p}"]
+
+    def test_percentile_rejects_untracked(self):
+        with pytest.raises(KeyError):
+            Histogram("x").percentile(42.0)
 
 
 class TestRegistry:

@@ -1,0 +1,283 @@
+"""The ``obs diff`` regression gate: extraction, classification, CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs import regress
+
+BENCH_DOC = {
+    "benchmarks": {
+        "test_fig8_reproduction": {
+            "wall_s": 1.0, "events": 1000, "events_per_s": 1000.0,
+        },
+    },
+    "total": {"wall_s": 1.0, "events": 1000, "events_per_s": 1000.0},
+}
+
+MANIFEST_DOC = {
+    "kind": "repro-telemetry",
+    "schema_version": 2,
+    "wall_s": 2.0,
+    "events_executed": 5000,
+    "events_per_s": 2500.0,
+    "runs": [],
+    "phases": {"simulate": {"wall_s": 1.5, "count": 2}},
+    "analytics": {
+        "section_version": 1,
+        "config": {},
+        "runs": [
+            {
+                "kind": "incast",
+                "desc": "8-1 incast, swift",
+                "samples": 50,
+                "flows": 8,
+                "flows_completed": 8,
+                "jain": 0.98,
+                "convergence_ns": 200000.0,
+                "slowdown": {
+                    "count": 8,
+                    "p50_slowdown": 5.0,
+                    "p999_slowdown": 8.0,
+                    "max_slowdown": 8.1,
+                },
+            }
+        ],
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def test_extract_metrics_bench_shape():
+    m = regress.extract_metrics(BENCH_DOC)
+    assert m["total.wall_s"] == 1.0
+    assert m["bench.test_fig8_reproduction.events"] == 1000.0
+
+
+def test_extract_metrics_manifest_shape():
+    m = regress.extract_metrics(MANIFEST_DOC)
+    assert m["wall_s"] == 2.0
+    assert m["phase.simulate.wall_s"] == 1.5
+    prefix = "analytics.8_1_incast_swift"
+    assert m[f"{prefix}.convergence_ns"] == 200000.0
+    assert m[f"{prefix}.jain"] == 0.98
+    assert m[f"{prefix}.p999_slowdown"] == 8.0
+    assert f"{prefix}.count" not in m  # count is not a gated metric
+
+
+def test_extract_metrics_skips_null_and_nonfinite():
+    doc = dict(MANIFEST_DOC, analytics={
+        "section_version": 1,
+        "config": {},
+        "runs": [{
+            "kind": "incast", "desc": "x", "samples": 1, "flows": 1,
+            "flows_completed": 0, "jain": 1.0,
+            "convergence_ns": None,  # never converged
+            "slowdown": {"count": 0, "p50_slowdown": None},
+        }],
+    })
+    m = regress.extract_metrics(doc)
+    assert "analytics.x.convergence_ns" not in m
+    assert "analytics.x.p50_slowdown" not in m
+
+
+def test_extract_metrics_rejects_unknown_document():
+    with pytest.raises(ValueError):
+        regress.extract_metrics({"hello": "world"})
+
+
+def test_load_comparable_baseline_roundtrip():
+    baseline = regress.make_baseline(
+        BENCH_DOC, tolerances={"total.wall_s": 1.5}, source="unit-test"
+    )
+    assert baseline["kind"] == regress.BASELINE_KIND
+    metrics, tolerances, directions = regress.load_comparable(baseline)
+    assert metrics == regress.extract_metrics(BENCH_DOC)
+    assert tolerances["total.wall_s"] == 1.5
+    assert tolerances["total.events"] == regress.DEFAULT_TOLERANCE
+    assert directions["total.events"] == "near"
+    assert directions["total.events_per_s"] == "higher"
+    with pytest.raises(ValueError):
+        regress.extract_metrics(baseline)
+
+
+def test_load_comparable_rejects_bad_direction():
+    baseline = regress.make_baseline(BENCH_DOC)
+    baseline["metrics"]["total.wall_s"]["direction"] = "sideways"
+    with pytest.raises(ValueError):
+        regress.load_comparable(baseline)
+
+
+def test_default_directions():
+    assert regress.default_direction("total.wall_s") == "lower"
+    assert regress.default_direction("total.events_per_s") == "higher"
+    assert regress.default_direction("events_executed") == "near"
+    assert regress.default_direction("x.convergence_ns") == "lower"
+    assert regress.default_direction("x.p999_slowdown") == "lower"
+    assert regress.default_direction("anything_else") == "lower"
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def _one(status, deltas):
+    return [d for d in deltas if d.status == status]
+
+
+def test_compare_direction_semantics():
+    base = {"wall_s": 1.0, "events_per_s": 100.0, "events": 50.0}
+    current = {"wall_s": 1.5, "events_per_s": 40.0, "events": 55.0}
+    deltas = regress.compare(base, current, default_tolerance=0.25)
+    by_name = {d.name: d.status for d in deltas}
+    assert by_name == {
+        "wall_s": "regressed",       # lower-is-better, +50% > 25%
+        "events_per_s": "regressed",  # higher-is-better, -60% < -25%
+        "events": "ok",               # near, +10% within ±25%
+    }
+    # Regressions sort first.
+    assert deltas[0].status == "regressed"
+
+
+def test_compare_improvement_never_fails():
+    deltas = regress.compare({"wall_s": 1.0}, {"wall_s": 0.1})
+    assert deltas[0].status == "improved"
+    assert not regress.has_regression(deltas)
+
+
+def test_compare_near_flags_drift_both_ways():
+    for current in (40.0, 60.0):
+        deltas = regress.compare(
+            {"events": 50.0}, {"events": current}, default_tolerance=0.1
+        )
+        assert deltas[0].status == "regressed"
+
+
+def test_compare_zero_baseline():
+    ok = regress.compare({"x.wall_s": 0.0}, {"x.wall_s": 0.0})
+    assert ok[0].status == "ok" and ok[0].change == 0.0
+    bad = regress.compare({"x.wall_s": 0.0}, {"x.wall_s": 1.0})
+    assert bad[0].status == "regressed"
+
+
+def test_missing_metric_only_fails_when_asked():
+    deltas = regress.compare({"wall_s": 1.0}, {})
+    assert deltas[0].status == "missing"
+    assert not regress.has_regression(deltas)
+    assert regress.has_regression(deltas, fail_on_missing=True)
+
+
+def test_render_diff_collapses_ok_rows():
+    deltas = regress.compare({"wall_s": 1.0, "events": 10.0},
+                             {"wall_s": 5.0, "events": 10.0})
+    text = regress.render_diff(deltas)
+    assert "REGRESSED" in text and "wall_s" in text
+    assert "\nok " not in text  # ok rows collapsed into the count line
+    verbose = regress.render_diff(deltas, verbose=True)
+    assert "events" in verbose
+
+
+def test_trajectory_append(tmp_path):
+    path = tmp_path / "traj.jsonl"
+    for label in ("a", "b"):
+        regress.append_trajectory(
+            path, regress.trajectory_record(BENCH_DOC, label=label)
+        )
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [rec["label"] for rec in lines] == ["a", "b"]
+    assert lines[0]["metrics"]["total.events"] == 1000.0
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_diff_self_comparison_passes(tmp_path, capsys):
+    bench = _write(tmp_path, "bench.json", BENCH_DOC)
+    assert main(["obs", "diff", bench, bench]) == 0
+    assert "regression gate: ok" in capsys.readouterr().out
+
+
+def test_cli_diff_flags_injected_regression(tmp_path, capsys):
+    bench = _write(tmp_path, "bench.json", BENCH_DOC)
+    bad_doc = json.loads(json.dumps(BENCH_DOC))
+    bad_doc["total"]["wall_s"] *= 10
+    bad = _write(tmp_path, "bad.json", bad_doc)
+    assert main(["obs", "diff", bench, bad]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "FAIL" in captured.err
+
+
+def test_cli_diff_tolerance_override_and_unreadable_file(tmp_path):
+    bench = _write(tmp_path, "bench.json", BENCH_DOC)
+    bad_doc = json.loads(json.dumps(BENCH_DOC))
+    bad_doc["total"]["wall_s"] *= 10
+    bad = _write(tmp_path, "bad.json", bad_doc)
+    # A huge explicit tolerance waves the regression through.
+    assert main([
+        "obs", "diff", bench, bad,
+        "--tolerance", "total.wall_s=20",
+        "--tolerance", "bench.test_fig8_reproduction.wall_s=20",
+    ]) == 0
+    assert main(["obs", "diff", bench, bad, "--tolerance", "nope"]) == 2
+    assert main(["obs", "diff", str(tmp_path / "missing.json"), bench]) == 2
+    not_json = tmp_path / "not.json"
+    not_json.write_text("{nope")
+    assert main(["obs", "diff", str(not_json), bench]) == 2
+
+
+def test_cli_diff_update_baseline_and_trajectory(tmp_path):
+    bench = _write(tmp_path, "bench.json", BENCH_DOC)
+    baseline = tmp_path / "baselines.json"
+    traj = tmp_path / "traj.jsonl"
+    assert main([
+        "obs", "diff", bench, bench,
+        "--update-baseline", str(baseline),
+        "--append-trajectory", str(traj),
+    ]) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["kind"] == regress.BASELINE_KIND
+    assert doc["metrics"]["total.wall_s"]["value"] == 1.0
+    # The refreshed baseline gates its own source cleanly.
+    assert main(["obs", "diff", str(baseline), bench]) == 0
+    assert json.loads(traj.read_text())["label"] == bench
+
+
+def test_cli_diff_fail_on_missing(tmp_path):
+    manifest = _write(tmp_path, "manifest.json", MANIFEST_DOC)
+    slim = json.loads(json.dumps(MANIFEST_DOC))
+    slim.pop("analytics")
+    slim_path = _write(tmp_path, "slim.json", slim)
+    assert main(["obs", "diff", manifest, slim_path]) == 0
+    assert main(
+        ["obs", "diff", manifest, slim_path, "--fail-on-missing"]
+    ) == 1
+
+
+def test_checked_in_baselines_file_is_wellformed():
+    from pathlib import Path
+
+    doc = json.loads(
+        (Path(__file__).resolve().parents[2] / "benchmarks" / "baselines.json")
+        .read_text()
+    )
+    metrics, tolerances, directions = regress.load_comparable(doc)
+    assert metrics, "baselines file carries no metrics"
+    assert set(tolerances) == set(metrics) and set(directions) == set(metrics)
+    # Every direction annotation matches the suffix conventions.
+    for name, direction in directions.items():
+        assert direction == regress.default_direction(name), name

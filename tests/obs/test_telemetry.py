@@ -135,8 +135,15 @@ class TestManifest:
         assert telemetry._validate_minimal(m) != []
 
     def test_schema_file_is_wellformed(self):
+        from repro.obs.telemetry import KNOWN_SCHEMA_VERSIONS
+
         schema = load_schema()
-        assert schema["properties"]["schema_version"]["const"] == SCHEMA_VERSION
+        # The schema accepts every known version (old manifests must keep
+        # validating) and the writer emits the newest one.
+        assert tuple(schema["properties"]["schema_version"]["enum"]) == (
+            KNOWN_SCHEMA_VERSIONS
+        )
+        assert SCHEMA_VERSION == KNOWN_SCHEMA_VERSIONS[-1]
 
     def test_write_manifest_is_stable(self, tmp_path):
         m = build_manifest(None, wall_s=1.0, events_executed=4)
