@@ -1,0 +1,54 @@
+"""Sanitizer self-test: deliberately break an invariant and expect a bang.
+
+A gate that can never fire is worse than no gate — it reads as green while
+guarding nothing.  This module builds a tiny PFC-configured dumbbell,
+drives it into a pause, and then uses the fault-injection layer to force a
+drop during that pause: a textbook ``pfc-lossless`` violation.  With the
+sanitizer enabled, the run must die with :class:`InvariantViolation`; the
+CI job inverts the exit code (exactly like the ``obs diff`` gate
+self-test), so a sanitizer that silently stops detecting breaks turns the
+build red.
+"""
+
+from __future__ import annotations
+
+from ..cc import make_cc
+from ..experiments.runner import make_env
+from ..sim.faults import PacketDropInjector
+from ..sim.flow import Flow
+from ..sim.network import Network
+from ..sim.pfc import PfcConfig
+
+
+def run_injected_violation(timeout_ns: float = 5_000_000.0) -> None:
+    """Force a packet drop while a PFC pause is asserted.
+
+    A 10:1 rate mismatch across the switch drives its ingress accounting
+    past XOFF almost immediately, so the upstream stays paused for most of
+    the run; a fault injector on the slow egress then drops a packet inside
+    that window.  Under the sanitizer this raises
+    :class:`~repro.check.invariants.InvariantViolation` (invariant
+    ``pfc-lossless``); without it, the run completes via go-back-N and this
+    function returns normally — which is precisely the "sanitizer is
+    broken or off" signal the CI self-test asserts against.
+    """
+    net = Network(seed=1)
+    sender = net.add_host("sender")
+    receiver = net.add_host("receiver")
+    sw = net.add_switch("sw")
+    pfc = PfcConfig(xoff=4_000.0, xon=2_000.0)
+    net.connect(sender, sw, 10e9, 1_000.0, pfc=pfc)
+    net.connect(sw, receiver, 1e9, 1_000.0, pfc=pfc)
+    net.build_routing()
+
+    flow = Flow(0, sender.node_id, receiver.node_id, 200_000, 0.0)
+    cc = make_cc("hpcc", make_env(net, sender.node_id, receiver.node_id))
+    net.add_flow(flow, cc)
+
+    # The 8th egress enqueue lands inside the initial line-rate burst, when
+    # the ingress occupancy is far past XOFF and the pause is guaranteed to
+    # be asserted (every value from 3 to 32 works; 8 sits in the middle).
+    egress = sw.port_to[receiver.node_id]
+    PacketDropInjector(ports=[egress], every_nth=8, seed=3).install(net)
+    net.enable_loss_recovery()
+    net.run_until_flows_complete(timeout_ns=timeout_ns)

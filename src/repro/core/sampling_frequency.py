@@ -16,6 +16,7 @@ Sec. V-B) live in the protocol implementations.
 
 from __future__ import annotations
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 
 
@@ -36,14 +37,17 @@ class SamplingFrequency:
     def on_ack(self) -> bool:
         """Record one ACK; True when a reference-rate decrease is permitted."""
         self._count += 1
-        if self._count >= self.interval_acks:
+        granted = self._count >= self.interval_acks
+        if granted:
             self._count = 0
             self.decreases_granted += 1
             reg = obs_registry.STATS
             if reg is not None:
                 reg.counter("sf.decreases_granted").inc()
-            return True
-        return False
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_sf_ack(self, granted)
+        return granted
 
     @property
     def acks_since_grant(self) -> int:
@@ -51,6 +55,9 @@ class SamplingFrequency:
 
     def reset(self) -> None:
         self._count = 0
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_sf_reset(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 
 
@@ -131,6 +132,9 @@ class VariableAI:
             elif measured < cfg.token_thresh:
                 self.dampener = max(self.dampener - 1.0, 0.0)
         self._measured = 0.0
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_vai(self)
 
     # -- Algorithm 2: token spending ------------------------------------------
 
@@ -154,6 +158,9 @@ class VariableAI:
             reg = obs_registry.STATS
             if reg is not None:
                 reg.counter("vai.tokens_spent").inc(tokens)
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_vai(self, multiplier=self._spent_multiplier)
         return self._spent_multiplier
 
     def reset(self) -> None:

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
 from ..obs import registry as obs_registry
 from ..obs import regress as obs_regress
@@ -33,7 +34,7 @@ from ..sim import engine
 from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
-from .parallel import campaign_for_figures, run_campaign
+from .parallel import campaign_for_figures, run_campaign, run_config
 from .reporting import render
 from .runner import drain_incomplete_runs, run_with_retry, set_default_budget
 from .store import ResultStore, set_store
@@ -143,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(Jain fairness + online convergence detection + P2 FCT-slowdown "
             "percentiles); summaries land in the telemetry manifest's "
             "'analytics' section and in [campaign] heartbeats"
+        ),
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "enable the runtime invariant sanitizer (repro.check): every "
+            "simulated run is checked for event-order, byte-conservation, "
+            "FIFO, PFC-losslessness, go-back-N, and VAI/SF invariants; a "
+            "violation aborts the run with an InvariantViolation naming "
+            "the replayable config"
         ),
     )
     parser.add_argument(
@@ -334,10 +346,149 @@ def obs_main(argv: List[str]) -> int:
     return 0
 
 
+def check_main(argv: List[str]) -> int:
+    """The ``repro-experiments check`` subcommand family.
+
+    Verbs: ``run`` (a reference preset under the sanitizer), ``digest``
+    (canonical flow-completion digest, repeatable for determinism gating),
+    ``selftest`` (inject a known violation; must die), and ``differential``
+    (fused/unfused x serial/parallel x store x obs equivalence matrix).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments check",
+        description=(
+            "Correctness-checking entry points: sanitized reference runs, "
+            "determinism digests, the injected-violation self-test, and the "
+            "differential equivalence matrix (see repro.check)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    run_p = sub.add_parser(
+        "run", help="simulate a reference preset with every invariant checked"
+    )
+    run_p.add_argument(
+        "--preset",
+        choices=("incast", "datacenter"),
+        default="incast",
+        help="reference config (default: incast)",
+    )
+    dig = sub.add_parser(
+        "digest",
+        help=(
+            "print the canonical flow-completion digest of a reference "
+            "preset; with --runs N, simulate N times and fail on mismatch"
+        ),
+    )
+    dig.add_argument(
+        "--preset", choices=("incast", "datacenter"), default="incast"
+    )
+    dig.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent simulations to digest (default: 1)",
+    )
+    dig.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also append 'DIGEST  PRESET' lines to PATH (CI artifact)",
+    )
+    sub.add_parser(
+        "selftest",
+        help=(
+            "inject a deliberate pfc-lossless violation; the process must "
+            "die with InvariantViolation (CI inverts the exit code)"
+        ),
+    )
+    di = sub.add_parser(
+        "differential",
+        help="run the full differential equivalence matrix on a reference preset",
+    )
+    di.add_argument(
+        "--preset", choices=("incast", "datacenter"), default="incast"
+    )
+    di.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the serial-vs-parallel leg (default: 2)",
+    )
+    args = parser.parse_args(argv)
+    # Imported here, not at module top: differential pulls in the whole
+    # experiments stack and is only needed by this subcommand.
+    from ..check import differential
+
+    if args.verb == "run":
+        checker = check_invariants.enable()
+        try:
+            cfg = differential.reference_config(args.preset)
+            result = run_config(cfg)
+        finally:
+            check_invariants.disable()
+        print(f"[sanitize] {checker.summary()}")
+        print(f"{differential.fct_digest(result)}  {cfg.describe()}")
+        return 0
+    if args.verb == "digest":
+        digests = []
+        for i in range(args.runs):
+            digest = differential.digest_preset(args.preset)
+            digests.append(digest)
+            print(f"{digest}  {args.preset} (run {i + 1}/{args.runs})")
+        if args.out is not None:
+            with open(args.out, "a") as fh:
+                for digest in digests:
+                    fh.write(f"{digest}  {args.preset}\n")
+        if len(set(digests)) > 1:
+            print(
+                "determinism: FAIL (identical runs produced different "
+                "flow-completion digests)",
+                file=sys.stderr,
+            )
+            return 1
+        print("determinism: ok")
+        return 0
+    if args.verb == "selftest":
+        from ..check import selftest as check_selftest
+
+        check_invariants.enable()
+        try:
+            # An InvariantViolation propagates out of main() here — that is
+            # the expected (healthy-sanitizer) outcome, and CI asserts the
+            # resulting non-zero exit.  Reaching the lines below means the
+            # injected break went undetected.
+            check_selftest.run_injected_violation()
+        finally:
+            check_invariants.disable()
+        print(
+            "sanitizer self-test: the injected pfc-lossless violation went "
+            "UNDETECTED — the sanitizer is broken",
+            file=sys.stderr,
+        )
+        return 0
+    # args.verb == "differential"
+    import tempfile
+
+    cfg = differential.reference_config(args.preset)
+    with tempfile.TemporaryDirectory(prefix="repro-diff-") as tmp:
+        reports = differential.run_matrix(cfg, store_dir=tmp, jobs=args.jobs)
+    for report in reports:
+        print(report.render())
+    if any(not report.matched for report in reports):
+        print("differential matrix: FAIL", file=sys.stderr)
+        return 1
+    print("differential matrix: ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["obs"]:
         return obs_main(argv[1:])
+    if argv[:1] == ["check"]:
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     wall_start = time.perf_counter()
     events_start = engine.total_events_executed()
@@ -379,6 +530,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = None
     if args.trace_out is not None:
         tracer = obs_tracer.enable()
+    sanitizer = None
+    if args.sanitize:
+        sanitizer = check_invariants.enable()
     progress = None
     if collector is not None or analytics_agg is not None:
         def progress(message: str) -> None:
@@ -510,7 +664,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = exit_code or 1
         obs_telemetry.write_manifest(args.telemetry, manifest)
         print(f"[telemetry] manifest -> {args.telemetry}")
+    if sanitizer is not None and exit_code == 0:
+        # A violation surfaces above as a failed figure (exit_code 1); the
+        # summary is only meaningful when every checked run survived.  Pool
+        # workers run their own checkers (violations still abort the
+        # campaign), so their counts are not in the parent's tally.
+        note = " (+ per-worker checks)" if args.jobs > 1 else ""
+        print(f"[sanitize] {sanitizer.summary()}{note}")
     # Leave the process as we found it for in-process callers (tests).
+    if sanitizer is not None:
+        check_invariants.disable()
     if tracer is not None:
         obs_tracer.disable()
     if analytics_agg is not None:

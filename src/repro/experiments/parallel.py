@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
 from ..obs import telemetry as obs_telemetry
 from ..sim.network import RunBudget
@@ -69,6 +70,7 @@ def run_config(cfg: AnyConfig) -> Any:
 def _worker_init(
     budget: Optional[RunBudget],
     analytics_config: Optional["obs_analytics.AnalyticsConfig"] = None,
+    sanitize: bool = False,
 ) -> None:
     """Pool initializer: re-install the parent's watchdog and analytics.
 
@@ -76,10 +78,17 @@ def _worker_init(
     silently come back without streaming summaries while serial runs carry
     them.  The worker's aggregator itself is discarded — the per-run
     summary rides home on the result object and the parent re-records it.
+
+    The sanitizer is likewise per-process: when the parent runs with
+    ``--sanitize``, every worker gets its own checker so a violation in a
+    pool run raises in the worker and surfaces through the future exactly
+    like any other run failure.
     """
     set_default_budget(budget)
     if analytics_config is not None:
         obs_analytics.enable(analytics_config)
+    if sanitize:
+        check_invariants.enable()
 
 
 def _describe(cfg: Any) -> str:
@@ -231,6 +240,7 @@ def run_campaign(
                 initargs=(
                     budget,
                     parent_agg.config if parent_agg is not None else None,
+                    check_invariants.CHECKER is not None,
                 ),
             )
             futures = [(cfg, pool.submit(_run_config_timed, cfg)) for cfg in pending]

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..cc import CCEnv, make_cc, needs_red, uses_cnp
+from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
 from ..obs import telemetry as obs_telemetry
 from ..metrics.fairness import convergence_time_ns, jain_series
@@ -90,6 +91,23 @@ def _phase(name: str):
     """Telemetry phase context (no-op when telemetry is disabled)."""
     tel = obs_telemetry.TELEMETRY
     return tel.phase(name) if tel is not None else nullcontext()
+
+
+def _begin_sanitized_run(cfg: Any) -> None:
+    """Reset the sanitizer's shadow state and install the replay context.
+
+    Called at the top of every run so an :class:`InvariantViolation` names
+    the exact config (description, content digest, seed) that reproduces
+    it, and shadow accounting from the previous run cannot leak into this
+    one.  No-op when sanitizing is off.
+    """
+    chk = check_invariants.CHECKER
+    if chk is not None:
+        chk.begin_run(
+            config=cfg.describe(),
+            cache_key=cfg.cache_key()[:16],
+            seed=cfg.seed,
+        )
 
 
 def _record_run(kind: str, desc: str, *, wall_s: float, events: int, completed: bool) -> None:
@@ -307,6 +325,7 @@ class IncastResult:
 def run_incast(cfg: IncastConfig) -> IncastResult:
     """Run one staggered incast and collect fairness/queue series."""
     t_begin = time.perf_counter()
+    _begin_sanitized_run(cfg)
     with _phase("build"):
         red = red_for_rate(cfg.rate_bps) if needs_red(cfg.variant) else None
         topo = build_star(
@@ -417,6 +436,7 @@ class DatacenterResult:
 def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
     """Run one fat-tree trace: Poisson arrivals for ``duration``, then drain."""
     t_begin = time.perf_counter()
+    _begin_sanitized_run(cfg)
     with _phase("build"):
         red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
         topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)

@@ -47,6 +47,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 
 #: Cap on the Event free list used by :meth:`Simulator.schedule_detached`.
@@ -350,6 +351,9 @@ class Simulator:
         # Instrumentation is flushed as per-run deltas at run() exit — the
         # per-event hot loop below stays untouched whether obs is on or off.
         reg = obs_registry.STATS
+        # Sanitizer: hoisted once per run() like the registry; when off the
+        # loop pays one local None test per event.
+        chk = check_invariants.CHECKER
         if reg is not None:
             seq_before = self._seq
             cancels_before = self.cancellations
@@ -369,6 +373,8 @@ class Simulator:
                 if until is not None and t > until:
                     break
                 heappop(heap)
+                if chk is not None:
+                    chk.on_event(t, self._now)
                 self._now = t
                 self._cur_seq = entry[2]
                 ev.fn(*ev.args)

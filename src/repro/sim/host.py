@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 from ..obs import tracer as obs_tracer
 from .engine import Simulator
@@ -177,6 +178,9 @@ class Host(Node):
             )
             state.next_seq += payload
             state.packets_sent += 1
+            chk = check_invariants.CHECKER
+            if chk is not None:
+                chk.on_send(state)
             nic.enqueue(pkt)
             rate = cc.pacing_rate_bps
             if rate is not None and rate > 0.0:
@@ -286,6 +290,9 @@ class Host(Node):
         end = pkt.end_seq()
         if pkt.seq <= state.received and end > state.received:
             state.received = end
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_data(state, pkt)
         now = self.sim.now()
         if state.flow.use_cnp and pkt.ece:
             if now - state.last_cnp_time >= self.cnp_interval_ns:
@@ -305,6 +312,9 @@ class Host(Node):
         else:
             state.acked = pkt.seq
         state.last_ack_time = now
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_ack(state, pkt)
         if self.loss_recovery and newly > 0:
             # Forward progress: reset the backoff and restart the RTO clock.
             state.rto_backoff = 1.0

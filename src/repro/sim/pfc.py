@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 
 
@@ -82,6 +83,12 @@ class PfcIngress:
         self.occupancy -= size
         if self.occupancy < 0:
             # Accounting must never go negative; clamp and surface in tests.
+            # The sanitizer sees the pre-clamp value — a release exceeding
+            # what was charged is a real bookkeeping bug even though the
+            # clamp keeps the state machine serviceable.
+            chk = check_invariants.CHECKER
+            if chk is not None:
+                chk.on_pfc_occupancy(self.occupancy)
             self.occupancy = 0.0
         if (
             self.config is not None

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..check import invariants as check_invariants
 from ..obs import registry as obs_registry
 from ..obs import tracer as obs_tracer
 from .engine import Simulator
@@ -199,6 +200,9 @@ class Port:
                 action = hook.on_packet(pkt)
                 if action == FAULT_DROP:
                     self.fault_drops += 1
+                    chk = check_invariants.CHECKER
+                    if chk is not None:
+                        chk.on_drop(self, pkt, ingress, "fault")
                     self._release_dropped(pkt, ingress)
                     return False
                 if action == FAULT_CORRUPT:
@@ -211,6 +215,9 @@ class Port:
                 reg = obs_registry.STATS
                 if reg is not None:
                     reg.counter("port.tail_drops").inc()
+                chk = check_invariants.CHECKER
+                if chk is not None:
+                    chk.on_drop(self, pkt, ingress, "tail")
                 self._release_dropped(pkt, ingress)
                 return False
             if self.red is not None and pkt.kind == DATA:
@@ -219,6 +226,9 @@ class Port:
                     pkt.ece = True
             self.queue.append((pkt, ingress))
             self.queue_bytes += pkt.size
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_enqueue(self, pkt)
         if self.queue_bytes > self.max_qlen_seen:
             self.max_qlen_seen = self.queue_bytes
             tr = obs_tracer.TRACER
@@ -269,6 +279,9 @@ class Port:
         pkt, ingress = self.queue.popleft()
         size = pkt.size
         self.queue_bytes -= size
+        chk = check_invariants.CHECKER
+        if chk is not None:
+            chk.on_dequeue(self, pkt)
         if self.stamp_int and pkt.kind == DATA and pkt.int_records is not None:
             pkt.int_records.append(
                 HopRecord(
@@ -331,6 +344,9 @@ class Port:
                 # Link is down: the queue keeps draining (carrier loss), every
                 # serialized packet is lost on the wire.
                 self.fault_drops += 1
+                chk = check_invariants.CHECKER
+                if chk is not None:
+                    chk.on_drop(self, pkt, ingress, "link-down")
         self.try_drain()
 
     def _schedule_wake(self, at: float) -> None:

@@ -1,0 +1,24 @@
+"""Shared helpers for the sanitizer test suite (tests/check)."""
+
+import json
+import os
+from pathlib import Path
+
+#: Where shrunk failing configs land; CI uploads this directory on failure.
+ARTIFACT_ENV = "SANITIZER_ARTIFACT_DIR"
+DEFAULT_ARTIFACT_DIR = "artifacts/sanitizer"
+
+
+def write_failure_artifact(name: str, payload: dict) -> Path:
+    """Persist a failing (property-test) config where CI can upload it.
+
+    Hypothesis replays the minimal example last after shrinking, so the
+    final overwrite leaves exactly the *minimal* failing config on disk.
+    """
+    root = Path(os.environ.get(ARTIFACT_ENV, DEFAULT_ARTIFACT_DIR))
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path

@@ -1,0 +1,20 @@
+"""Repo-wide pytest configuration: Hypothesis profiles.
+
+Profiles must be registered in the *root* conftest — the Hypothesis pytest
+plugin resolves ``--hypothesis-profile`` during ``pytest_configure``, before
+per-directory conftests load.
+
+* ``dev`` (loaded by default) keeps property tests cheap in the tier-1
+  suite;
+* ``ci`` (``--hypothesis-profile=ci``) runs more examples, derandomized so
+  the CI sanitize job is reproducible run-to-run.
+
+Tests that pass explicit ``@settings(max_examples=...)`` keep their own
+counts either way.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("ci", max_examples=25, derandomize=True, deadline=None)
+settings.register_profile("dev", max_examples=10, deadline=None)
+settings.load_profile("dev")

@@ -1,0 +1,180 @@
+"""ECMP edge cases on the fat-tree: failures, hash stability, reroute+GBN.
+
+Covers the interactions the basic routing tests (test_routing.py) leave
+out: what the ECMP groups look like after a link dies, that flow-to-path
+hashing is stable across identically-built networks, and that a mid-flow
+reroute composes with go-back-N loss recovery without breaking any
+simulator invariant.
+"""
+
+import pytest
+
+from repro.cc.base import CCEnv, CongestionControl
+from repro.check import invariants
+from repro.sim.faults import LinkFlapInjector
+from repro.sim.flow import Flow
+from repro.sim.switch import RoutingError
+from repro.topology import build_fattree, scaled_fattree_params
+from repro.units import gbps, ms, us
+
+
+class NullCC(CongestionControl):
+    def __init__(self, env, window=1e12):
+        super().__init__(env)
+        self.window_bytes = window
+
+    def on_ack(self, ctx):
+        pass
+
+
+def env_for(net, src, dst):
+    host = net.nodes[src]
+    return CCEnv(
+        line_rate_bps=host.ports[0].spec.rate_bps,
+        base_rtt_ns=net.path_rtt_ns(src, dst),
+        hops=net.hop_count(src, dst),
+    )
+
+
+def small_fattree(seed=1):
+    # 2 pods x 2 ToRs x 2 hosts, 2 aggs/pod: every cross-pod ECMP group at
+    # a ToR has exactly 2 members, so one failure leaves one path.
+    params = scaled_fattree_params(
+        pods=2, tors_per_pod=2, aggs_per_pod=2, spines=4, hosts_per_tor=2
+    )
+    return build_fattree(params, seed=seed), params
+
+
+def tor_of(topo, host):
+    """The ToR a host hangs off (its single uplink's far end)."""
+    for sw in topo.switches:
+        if host.node_id in sw.port_to:
+            return sw
+    raise AssertionError(f"no switch adjacent to {host.name}")
+
+
+def peer_of(node, port):
+    """Node id on the far side of one of ``node``'s ports."""
+    for nid, p in node.port_to.items():
+        if p is port:
+            return nid
+    raise AssertionError(f"{port.name} not on {node.name}")
+
+
+def cross_pod_pair(topo):
+    return topo.hosts[0], topo.hosts[-1]
+
+
+class TestHashStability:
+    def test_default_flow_hash_formula(self):
+        # Knuth multiplicative hash of the flow id, masked to 32 bits:
+        # deterministic, so a flow rides the same path in every run.
+        for flow_id in (0, 1, 7, 12345):
+            f = Flow(flow_id, 0, 1, 1000, 0.0)
+            assert f.ecmp_hash == (flow_id * 2654435761) & 0xFFFFFFFF
+        assert Flow(3, 0, 1, 1000, 0.0, ecmp_hash=42).ecmp_hash == 42
+
+    def test_path_choice_identical_across_rebuilt_networks(self):
+        chosen = []
+        for _ in range(2):
+            topo, _ = small_fattree(seed=1)
+            src, dst = cross_pod_pair(topo)
+            tor = tor_of(topo, src)
+            group = tor.routes[dst.node_id]
+            assert len(group) == 2  # cross-pod: one port per agg
+            picks = [
+                group[Flow(i, 0, 1, 1000, 0.0).ecmp_hash % len(group)].name
+                for i in range(20)
+            ]
+            chosen.append(picks)
+        assert chosen[0] == chosen[1]
+        assert len(set(chosen[0])) == 2  # ...and both paths get used
+
+
+class TestLinkDownFallback:
+    def test_ecmp_group_shrinks_to_single_path(self):
+        topo, _ = small_fattree()
+        net = topo.network
+        src, dst = cross_pod_pair(topo)
+        tor = tor_of(topo, src)
+        group = tor.routes[dst.node_id]
+        assert len(group) == 2
+        dead_agg = peer_of(tor, group[0])
+        net.set_link_state(tor.node_id, dead_agg, False)
+        fallback = tor.routes[dst.node_id]
+        assert len(fallback) == 1
+        assert peer_of(tor, fallback[0]) != dead_agg
+
+    def test_traffic_completes_over_the_surviving_path(self):
+        topo, _ = small_fattree()
+        net = topo.network
+        src, dst = cross_pod_pair(topo)
+        tor = tor_of(topo, src)
+        dead_agg = peer_of(tor, tor.routes[dst.node_id][0])
+        net.set_link_state(tor.node_id, dead_agg, False)
+        flow = Flow(0, src.node_id, dst.node_id, 100_000, 0.0)
+        net.add_flow(flow, NullCC(env_for(net, src.node_id, dst.node_id)))
+        status = net.run_until_flows_complete(timeout_ns=ms(10.0))
+        assert status and flow.completed
+
+    def test_pod_cut_off_drops_instead_of_raising(self):
+        # Both agg uplinks die: the destination pod is unreachable.  After
+        # any failure the fabric is in drop-unroutable mode, so packets are
+        # counted away rather than crashing the run with RoutingError.
+        topo, _ = small_fattree()
+        net = topo.network
+        src, dst = cross_pod_pair(topo)
+        tor = tor_of(topo, src)
+        env = env_for(net, src.node_id, dst.node_id)  # while paths exist
+        for port in tuple(tor.routes[dst.node_id]):
+            net.set_link_state(tor.node_id, peer_of(tor, port), False)
+        assert dst.node_id not in tor.routes
+        assert tor.drop_unroutable
+        flow = Flow(0, src.node_id, dst.node_id, 10_000, 0.0)
+        net.add_flow(flow, NullCC(env))
+        net.run(until=us(100.0))
+        assert not flow.completed
+        assert tor.routing_drops > 0
+
+    def test_healthy_topology_still_raises_on_missing_route(self):
+        topo, _ = small_fattree()
+        tor = tor_of(topo, topo.hosts[0])
+        from repro.sim.packet import Packet
+
+        ghost = Packet.data(0, 0, 999_999, 0, 1000, send_ts=0.0)
+        with pytest.raises(RoutingError):
+            tor.route(ghost)
+
+
+class TestRerouteWithGoBackN:
+    def test_mid_flow_flap_recovers_and_holds_invariants(self):
+        # The flow's hashed agg link flaps mid-transfer: the queue standing
+        # on it drains into the void, routing falls back to the surviving
+        # agg, go-back-N retransmits the hole, and the link's return
+        # restores the original path.  The whole episode must complete —
+        # under the sanitizer.  Fabric links are slower than host links
+        # here so the flapped port is guaranteed to hold a queue when it
+        # dies (losses cannot time themselves away).
+        params = scaled_fattree_params(
+            pods=2, tors_per_pod=2, aggs_per_pod=2, spines=4, hosts_per_tor=2,
+            host_rate_bps=gbps(10.0), fabric_rate_bps=gbps(5.0),
+        )
+        topo = build_fattree(params, seed=1)
+        net = topo.network
+        src, dst = cross_pod_pair(topo)
+        tor = tor_of(topo, src)
+        flow = Flow(0, src.node_id, dst.node_id, 500_000, 0.0)
+        group = tor.routes[dst.node_id]
+        flow_port = group[flow.ecmp_hash % len(group)]
+        flap_agg = peer_of(tor, flow_port)
+        LinkFlapInjector(
+            tor.node_id, flap_agg, down_at_ns=us(20.0), down_for_ns=us(60.0)
+        ).install(net)
+        net.add_flow(flow, NullCC(env_for(net, src.node_id, dst.node_id)))
+        net.enable_loss_recovery()
+        with invariants.capture() as chk:
+            status = net.run_until_flows_complete(timeout_ns=ms(50.0))
+        assert status and flow.completed
+        assert net.link_is_up(tor.node_id, flap_agg)  # flap is over
+        assert net.total_retransmitted_bytes() > 0  # GBN actually fired
+        assert chk.total_checks() > 0
