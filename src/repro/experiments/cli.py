@@ -21,7 +21,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
@@ -38,6 +38,13 @@ from .parallel import campaign_for_figures, run_campaign, run_config
 from .reporting import render
 from .runner import drain_incomplete_runs, run_with_retry, set_default_budget
 from .store import ResultStore, set_store
+from .supervisor import (
+    CampaignIncomplete,
+    CampaignJournal,
+    RetryPolicy,
+    SupervisorConfig,
+    load_journal,
+)
 
 #: Default on-disk result store location (relative to the working directory).
 DEFAULT_STORE_DIR = ".repro-store"
@@ -102,6 +109,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for the simulation campaign (default: 1)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run the campaign under the fault-tolerant supervisor: worker "
+            "liveness monitoring (hung workers killed and rescheduled), "
+            "transient-error retries with backoff, and quarantine of poison "
+            "configs instead of aborting the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only campaign journal (one fsync'd JSON line per state "
+            "transition); survives crashes and feeds --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume an interrupted campaign from its journal: completed "
+            "configs are served from the store, quarantines carry over, and "
+            "only unfinished work re-runs (implies --supervise)"
+        ),
+    )
+    parser.add_argument(
+        "--partial-ok",
+        action="store_true",
+        help=(
+            "finish a supervised campaign even when some configs are "
+            "quarantined or lost, surfacing per-config statuses instead of "
+            "failing the whole invocation"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "supervised mode: total attempts per config before it is "
+            "quarantined (transient errors) or written off (worker losses) "
+            "(default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help=(
+            "supervised mode: base delay before re-attempting a failed "
+            "config; doubles per attempt with deterministic jitter "
+            "(default: 0, retry immediately)"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -351,8 +418,9 @@ def check_main(argv: List[str]) -> int:
 
     Verbs: ``run`` (a reference preset under the sanitizer), ``digest``
     (canonical flow-completion digest, repeatable for determinism gating),
-    ``selftest`` (inject a known violation; must die), and ``differential``
-    (fused/unfused x serial/parallel x store x obs equivalence matrix).
+    ``selftest`` (inject a known violation; must die), ``differential``
+    (fused/unfused x serial/parallel x store x obs equivalence matrix), and
+    ``chaos`` (fault-injected supervised campaign vs fault-free digests).
     """
     parser = argparse.ArgumentParser(
         prog="repro-experiments check",
@@ -416,6 +484,46 @@ def check_main(argv: List[str]) -> int:
         metavar="N",
         help="worker processes for the serial-vs-parallel leg (default: 2)",
     )
+    ch = sub.add_parser(
+        "chaos",
+        help=(
+            "orchestration chaos harness: inject worker SIGKILLs, hangs, "
+            "transient errors, a poison config, and store corruption into a "
+            "supervised campaign; assert byte-identical digests vs a "
+            "fault-free run"
+        ),
+    )
+    ch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-plan seed (same seed = same fault assignment; default: 0)",
+    )
+    ch.add_argument(
+        "--configs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="reference configs to sweep (>= 4 so every fault fires; default: 4)",
+    )
+    ch.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="supervised worker processes (default: 2)",
+    )
+    ch.add_argument(
+        "--journal-out",
+        default=None,
+        metavar="PATH",
+        help="write the chaos campaign's journal to PATH (CI failure artifact)",
+    )
+    ch.add_argument(
+        "--verbose",
+        action="store_true",
+        help="stream supervisor progress lines while the ladder runs",
+    )
     args = parser.parse_args(argv)
     # Imported here, not at module top: differential pulls in the whole
     # experiments stack and is only needed by this subcommand.
@@ -468,6 +576,28 @@ def check_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 0
+    if args.verb == "chaos":
+        import tempfile
+
+        from ..check import chaos as check_chaos
+
+        progress = (
+            (lambda message: print(f"[chaos] {message}", flush=True))
+            if args.verbose
+            else None
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            journal_path = args.journal_out or str(Path(tmp) / "chaos.jsonl")
+            report = check_chaos.run_chaos(
+                store_dir=str(Path(tmp) / "store"),
+                seed=args.seed,
+                n_configs=args.configs,
+                jobs=args.jobs,
+                journal_path=journal_path,
+                progress=progress,
+            )
+        print(report.render())
+        return 0 if report.ok else 1
     # args.verb == "differential"
     import tempfile
 
@@ -481,6 +611,25 @@ def check_main(argv: List[str]) -> int:
         return 1
     print("differential matrix: ok")
     return 0
+
+
+def _print_supervision(outcome: "Any") -> None:
+    """One status line per supervised campaign + quarantine details."""
+    counts: dict = {}
+    for status in outcome.statuses.values():
+        counts[status] = counts.get(status, 0) + 1
+    rendered = ", ".join(
+        f"{counts[s]} {s}"
+        for s in ("ok", "retried", "salvaged", "quarantined", "lost")
+        if counts.get(s)
+    )
+    print(f"[supervisor] per-config statuses: {rendered or 'none'}")
+    for q in outcome.quarantines:
+        print(
+            f"[supervisor] quarantined {q.desc} [{q.classification}] after "
+            f"{q.attempts} attempt(s): {q.error}"
+        )
+        print(f"[supervisor]   replay with: {q.config_repr}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -538,15 +687,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         def progress(message: str) -> None:
             print(f"[campaign] {message}", flush=True)
 
+    supervised = args.supervise or args.resume is not None
+    supervisor_cfg: Optional[SupervisorConfig] = None
+    plain_journal: Optional[CampaignJournal] = None
+    if supervised:
+        resume_state = None
+        if args.resume is not None:
+            try:
+                resume_state = load_journal(args.resume)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot resume from {args.resume}: {exc}",
+                      file=sys.stderr)
+                return 2
+        journal_path = args.journal
+        if journal_path is None and args.resume is not None:
+            journal_path = args.resume  # keep appending to the same history
+        supervisor_cfg = SupervisorConfig(
+            policy=RetryPolicy(
+                max_attempts=args.max_attempts, backoff_s=args.retry_backoff
+            ),
+            journal_path=Path(journal_path) if journal_path else None,
+            resume=resume_state,
+            partial_ok=args.partial_ok,
+        )
+    elif args.journal is not None:
+        # Unsupervised campaigns still journal the Ctrl-C case so an
+        # interrupted sweep leaves a --resume-able trace behind.
+        plain_journal = CampaignJournal(Path(args.journal))
+
     # Run the figures' simulations as one deduplicated campaign up front;
     # the figure functions then replay them from the warm caches.
+    exit_code = 0
     campaign = campaign_for_figures(figs, scale=args.scale)
     if campaign:
         campaign_events = engine.total_events_executed()
         try:
             outcome = run_campaign(
-                campaign, jobs=args.jobs, budget=budget, progress=progress
+                campaign,
+                jobs=args.jobs,
+                budget=budget,
+                progress=progress,
+                supervisor=supervisor_cfg,
+                journal=plain_journal,
             )
+        except CampaignIncomplete as exc:
+            # Supervised mode without --partial-ok: the journal and partial
+            # results are intact; figures depending on missing configs fail
+            # individually below.  No serial fallback — re-running poison
+            # serially would just fail again, slower.
+            outcome = exc.outcome
+            print(f"error: {exc}", file=sys.stderr)
+            print(f"[campaign] {outcome.stats.summary()}")
+            _print_supervision(outcome)
+            exit_code = 1
         except Exception as exc:
             # Figures retry failing runs individually below; the campaign
             # failing wholesale (e.g. a broken pool) only loses parallelism.
@@ -557,6 +750,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         else:
             print(f"[campaign] {outcome.stats.summary()}")
+            if supervised:
+                _print_supervision(outcome)
             if args.profile:
                 # Events executed by pool workers happen in other processes;
                 # this counter covers the serial (jobs=1) campaign path.
@@ -567,7 +762,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"wall={outcome.stats.wall_s:.2f}s events/s={rate:,.0f}"
                 )
 
-    exit_code = 0
     jobs = [("figure", str(f), ALL_FIGURES) for f in figs]
     jobs += [("extension", str(e), ALL_EXTENSIONS) for e in exts]
     for kind, job_id, registry in jobs:
@@ -597,6 +791,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"[profile] {kind} {job_id}: events={events} "
                 f"wall={elapsed:.2f}s events/s={rate:,.0f}"
             )
+    if plain_journal is not None:
+        plain_journal.close()
     if store is not None:
         print(f"[store] {store.stats.summary()}")
     incomplete = drain_incomplete_runs()

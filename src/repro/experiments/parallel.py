@@ -26,8 +26,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
@@ -57,13 +57,24 @@ from .runner import (
 
 AnyConfig = Union[IncastConfig, DatacenterConfig]
 
+if TYPE_CHECKING:  # pragma: no cover - type-only; runtime import is lazy
+    from .supervisor import CampaignJournal, SupervisorConfig
+
 
 def run_config(cfg: AnyConfig) -> Any:
-    """Simulate one config (uncached dispatch; the pool's work function)."""
+    """Simulate one config (uncached dispatch; the pool's work function).
+
+    A config type outside the two built-in families can make itself runnable
+    by exposing a ``run_self()`` method — the chaos harness's poison configs
+    and test doubles (slow runs, self-killing workers) use this hook.
+    """
     if isinstance(cfg, IncastConfig):
         return run_incast(cfg)
     if isinstance(cfg, DatacenterConfig):
         return run_datacenter(cfg)
+    run_self = getattr(cfg, "run_self", None)
+    if callable(run_self):
+        return run_self()
     raise TypeError(f"not a runnable config: {type(cfg).__name__}")
 
 
@@ -143,7 +154,11 @@ def _run_config_timed(cfg: AnyConfig) -> RunEnvelope:
 
 @dataclass
 class CampaignStats:
-    """What one campaign did: cache effectiveness and parallel speed."""
+    """What one campaign did: cache effectiveness and parallel speed.
+
+    The supervision counters (``retried`` onward) stay zero on the plain
+    pool path; the fault-tolerant supervisor fills them in.
+    """
 
     requested: int = 0  # configs asked for, duplicates included
     unique: int = 0  # after content-key dedup
@@ -151,22 +166,51 @@ class CampaignStats:
     executed: int = 0  # actually simulated this campaign
     jobs: int = 1
     wall_s: float = 0.0
+    retried: int = 0  # succeeded after >= 1 failed attempt
+    salvaged: int = 0  # succeeded after >= 1 worker kill/loss
+    quarantined: int = 0  # written off as poison (deterministic failure)
+    lost: int = 0  # no result and not poison (worker loss / interrupt)
+    workers_killed: int = 0  # stalled workers the supervisor SIGKILLed
+    workers_lost: int = 0  # workers that died on their own mid-task
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.requested} config(s), {self.unique} unique: "
             f"{self.cached} cached, {self.executed} simulated "
             f"(jobs={self.jobs}, {self.wall_s:.1f}s)"
         )
+        supervision = [
+            f"{value} {name}"
+            for name, value in (
+                ("retried", self.retried),
+                ("salvaged", self.salvaged),
+                ("quarantined", self.quarantined),
+                ("lost", self.lost),
+                ("worker(s) killed", self.workers_killed),
+                ("worker(s) lost", self.workers_lost),
+            )
+            if value
+        ]
+        if supervision:
+            text += " [" + ", ".join(supervision) + "]"
+        return text
 
 
 @dataclass
 class CampaignOutcome:
-    """Results keyed by config content key, plus stats and any failures."""
+    """Results keyed by config content key, plus stats and any failures.
+
+    ``statuses`` maps every unique config key to its final per-config state
+    (``ok``/``retried``/``salvaged``/``quarantined``/``lost``) when the
+    campaign ran under the supervisor; the plain pool path leaves it empty.
+    ``quarantines`` carries the replayable reports for poison configs.
+    """
 
     results: Dict[str, Any]
     stats: CampaignStats
     failures: List[Tuple[str, str]]  # (config key, "ErrorType: message")
+    statuses: Dict[str, str] = field(default_factory=dict)
+    quarantines: List[Any] = field(default_factory=list)
 
     def result_for(self, cfg: AnyConfig) -> Any:
         return self.results[cfg.cache_key()]
@@ -188,6 +232,8 @@ def run_campaign(
     budget: Optional[RunBudget] = None,
     salvage: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    supervisor: Optional["SupervisorConfig"] = None,
+    journal: Optional["CampaignJournal"] = None,
 ) -> CampaignOutcome:
     """Run every config, each exactly once, using caches then ``jobs`` cores.
 
@@ -199,12 +245,26 @@ def run_campaign(
     outcome's ``failures`` instead of aborting the campaign — sweeps use
     this so one pathological seed cannot waste the other workers' results.
 
+    With ``supervisor`` set the campaign is delegated wholesale to
+    :func:`repro.experiments.supervisor.run_supervised`, which adds worker
+    liveness monitoring, retry/backoff, quarantine, and journaled resume
+    (``salvage`` is subsumed by the supervisor's ``partial_ok``).  Without
+    it, an optional ``journal`` still records an ``interrupted`` event if
+    the campaign dies on Ctrl-C, so even unsupervised campaigns leave a
+    resumable trace.
+
     ``progress`` receives one human-readable line per completed (or failed)
     run, plus a campaign header; the same lines land in the telemetry
     collector's heartbeat log when telemetry is enabled.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if supervisor is not None:
+        from .supervisor import run_supervised
+
+        return run_supervised(
+            configs, jobs=jobs, budget=budget, progress=progress, sup=supervisor
+        )
     start = time.perf_counter()
     stats = CampaignStats(requested=len(configs), jobs=jobs)
     unique: Dict[str, AnyConfig] = {}
@@ -305,6 +365,28 @@ def run_campaign(
                         f"{envelope.wall_s:.2f}s ({envelope.events} events, "
                         f"pid {envelope.pid})" + _analytics_suffix(live),
                     )
+        except KeyboardInterrupt:
+            # Ctrl-C must not leave orphaned workers grinding on, and the
+            # journal (when one is attached) must land on disk before the
+            # interrupt propagates — that file is what --resume reads.
+            not_done = []
+            for pending_cfg, pending_future in futures:
+                key = pending_cfg.cache_key()
+                if key in results:
+                    continue
+                if pending_future is not None:
+                    pending_future.cancel()
+                not_done.append(key)
+            if pool is not None:
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            if journal is not None:
+                journal.append(
+                    "interrupted", pending=not_done, completed=len(results)
+                )
+            raise
         finally:
             if pool is not None:
                 pool.shutdown()

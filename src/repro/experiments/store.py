@@ -20,8 +20,14 @@ Layout on disk::
 
 Stale fingerprints accumulate as code evolves; :meth:`ResultStore.gc`
 removes every namespace but the current one.  All writes are atomic
-(tempfile + rename) so a killed campaign never leaves a torn pickle; a
-corrupt or unreadable entry is treated as a miss and deleted.
+(tempfile + rename) so a killed campaign never leaves a torn pickle, and
+every entry carries a header line with the SHA-256 and length of its pickle
+payload.  ``get`` verifies both before unpickling: a corrupt, truncated, or
+bit-flipped entry is *self-healing* — it warns, deletes the file, and
+reports a miss, so the caller transparently re-simulates instead of blowing
+up mid-campaign (or worse, silently deserializing garbage).  Entries from
+before the header was introduced (no magic prefix) still load as raw
+pickles.
 
 The process-wide *active store* (:func:`set_store` / :func:`get_store`) is
 what the runner's ``run_*_cached`` entry points consult between their
@@ -36,16 +42,20 @@ import os
 import pickle
 import shutil
 import tempfile
+import warnings
 from dataclasses import dataclass, is_dataclass
 from pathlib import Path
 from typing import Any, List, Optional, Tuple
 
 __all__ = [
+    "CorruptEntry",
     "ResultStore",
     "StoreStats",
     "canonical_config_repr",
     "config_key",
     "code_fingerprint",
+    "decode_entry",
+    "encode_entry",
     "set_store",
     "get_store",
 ]
@@ -140,6 +150,52 @@ def code_fingerprint() -> str:
 
 
 # ---------------------------------------------------------------------------
+# Entry framing: checksum header + pickle payload
+# ---------------------------------------------------------------------------
+
+#: Entry header magic.  The full header line is
+#: ``repro-store/2 <sha256-hex> <payload-bytes>\n`` followed by the pickle.
+ENTRY_MAGIC = b"repro-store/2 "
+
+
+def encode_entry(blob: bytes) -> bytes:
+    """Frame a pickle payload with its SHA-256 and length."""
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    return ENTRY_MAGIC + digest + b" %d\n" % len(blob) + blob
+
+
+def decode_entry(data: bytes) -> bytes:
+    """Return the verified payload of a framed entry.
+
+    Raises :class:`CorruptEntry` on any mismatch; data without the magic
+    prefix is passed through untouched (pre-checksum legacy entry — its only
+    integrity check is unpickling itself).
+    """
+    if not data.startswith(ENTRY_MAGIC):
+        return data
+    newline = data.find(b"\n", len(ENTRY_MAGIC))
+    if newline < 0:
+        raise CorruptEntry("truncated header")
+    try:
+        digest_hex, size_text = data[len(ENTRY_MAGIC):newline].split(b" ")
+        expected_size = int(size_text)
+    except ValueError:
+        raise CorruptEntry("malformed header") from None
+    payload = data[newline + 1:]
+    if len(payload) != expected_size:
+        raise CorruptEntry(
+            f"payload is {len(payload)} bytes, header says {expected_size}"
+        )
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest_hex:
+        raise CorruptEntry("checksum mismatch")
+    return payload
+
+
+class CorruptEntry(RuntimeError):
+    """A store entry failed its checksum/length verification."""
+
+
+# ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
 
@@ -186,39 +242,57 @@ class ResultStore:
 
     # -- access -----------------------------------------------------------
 
+    def _evict_corrupt(self, path: Path, reason: str) -> None:
+        """Warn, delete, and count a corrupt entry (caller reports a miss)."""
+        self.stats.evicted_corrupt += 1
+        self.stats.misses += 1
+        path.unlink(missing_ok=True)
+        warnings.warn(
+            f"result store evicted corrupt entry {path.name}: {reason}; "
+            "it will be re-simulated",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def get(self, cfg: Any) -> Optional[Any]:
         """The stored result for ``cfg``, or None (counts a hit or miss).
 
-        An entry that exists but cannot be unpickled is deleted and treated
-        as a miss — a torn write from a killed process must not poison the
-        campaign forever.
+        An entry that fails its checksum or cannot be unpickled is deleted
+        and treated as a miss (with a warning) — a torn write from a killed
+        process or on-disk corruption must not poison the campaign forever,
+        and must never surface as a mid-campaign crash.
         """
         path = self.path_for(cfg)
         try:
-            blob = path.read_bytes()
+            data = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             return None
         try:
+            blob = decode_entry(data)
+        except CorruptEntry as exc:
+            self._evict_corrupt(path, str(exc))
+            return None
+        try:
             result = pickle.loads(blob)
-        except Exception:
-            self.stats.evicted_corrupt += 1
-            self.stats.misses += 1
-            path.unlink(missing_ok=True)
+        except Exception as exc:
+            self._evict_corrupt(path, f"unpicklable ({type(exc).__name__})")
             return None
         self.stats.hits += 1
-        self.stats.bytes_read += len(blob)
+        self.stats.bytes_read += len(data)
         return result
 
     def put(self, cfg: Any, result: Any) -> Path:
-        """Atomically persist ``result`` under ``cfg``'s key."""
+        """Atomically persist ``result`` (checksummed) under ``cfg``'s key."""
         path = self.path_for(cfg)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        data = encode_entry(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
+                fh.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -227,8 +301,30 @@ class ResultStore:
                 pass
             raise
         self.stats.puts += 1
-        self.stats.bytes_written += len(blob)
+        self.stats.bytes_written += len(data)
         return path
+
+    def verify(self) -> Tuple[int, List[Path]]:
+        """Checksum-scan the current namespace without evicting anything.
+
+        Returns ``(entries_checked, corrupt_paths)``.  Legacy (headerless)
+        entries count as checked; they are verified by unpickling instead.
+        ``check chaos`` uses this to prove injected corruption is visible
+        before the self-healing re-run, and operators can use it to audit a
+        store that survived a crash or a flaky disk.
+        """
+        corrupt: List[Path] = []
+        entries = self.entries()
+        for path in entries:
+            try:
+                data = path.read_bytes()
+                if data.startswith(ENTRY_MAGIC):
+                    decode_entry(data)
+                else:
+                    pickle.loads(data)
+            except Exception:
+                corrupt.append(path)
+        return len(entries), corrupt
 
     def __contains__(self, cfg: Any) -> bool:
         return self.path_for(cfg).exists()

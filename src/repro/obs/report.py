@@ -194,6 +194,52 @@ def render_report(
             "or analytics disabled; re-run with --analytics to collect it)"
         )
 
+    # -- supervision (schema v3) -------------------------------------------
+    sup_rows = []
+    quarantine_lines: List[str] = []
+    for label, m in manifests:
+        section = m.get("supervisor")
+        if not section:
+            continue
+        counts = section.get("status_counts") or {}
+        sup_rows.append(
+            (
+                label,
+                counts.get("ok", 0),
+                counts.get("retried", 0),
+                counts.get("salvaged", 0),
+                counts.get("quarantined", 0),
+                counts.get("lost", 0),
+                section.get("workers_killed", 0),
+                section.get("workers_lost", 0),
+            )
+        )
+        for q in section.get("quarantines") or ():
+            quarantine_lines.append(
+                f"  {label}: {q.get('desc', '?')} [{q.get('classification', '?')}] "
+                f"after {q.get('attempts', '?')} attempt(s): {q.get('error', '?')}"
+            )
+    if sup_rows:
+        out.append(f"\n-- supervision ({len(sup_rows)} campaign(s))")
+        out.append(
+            format_table(
+                (
+                    "manifest",
+                    "ok",
+                    "retried",
+                    "salvaged",
+                    "quarantined",
+                    "lost",
+                    "kills",
+                    "losses",
+                ),
+                sup_rows,
+            )
+        )
+    if quarantine_lines:
+        out.append(f"\n-- quarantined configs ({len(quarantine_lines)})")
+        out.extend(quarantine_lines)
+
     failures = sum(
         (m.get("campaign") or {}).get("failures", 0) for _, m in manifests
     )

@@ -27,9 +27,11 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: Manifest schema revisions this codebase understands.  Version 2 added
 #: the ``analytics`` section (streaming convergence/tail estimates); version
-#: 1 manifests remain valid and render with a clear "no analytics" note.
-KNOWN_SCHEMA_VERSIONS = (1, 2)
-SCHEMA_VERSION = 2
+#: 3 added the ``supervisor`` section (per-config statuses, quarantines,
+#: worker kill/loss counts from the fault-tolerant campaign supervisor).
+#: Older manifests remain valid and render with a clear "no section" note.
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3)
+SCHEMA_VERSION = 3
 MANIFEST_KIND = "repro-telemetry"
 
 _SCHEMA_PATH = Path(__file__).with_name("telemetry_schema.json")
@@ -49,6 +51,7 @@ class TelemetryCollector:
         self.phases: Dict[str, Dict[str, float]] = {}
         self.heartbeats: List[str] = []
         self.campaign: Optional[Dict[str, Any]] = None
+        self.supervisor: Optional[Dict[str, Any]] = None
         self._heartbeat_sink = heartbeat_sink
 
     # -- phases ------------------------------------------------------------
@@ -109,6 +112,37 @@ class TelemetryCollector:
             "jobs": jobs,
             "wall_s": wall_s,
             "failures": failures,
+        }
+
+    def record_supervisor(
+        self,
+        *,
+        statuses: Dict[str, str],
+        quarantines: List[Dict[str, Any]],
+        workers_killed: int,
+        workers_lost: int,
+        retried: int,
+        salvaged: int,
+        journal: Optional[str] = None,
+    ) -> None:
+        """Attach the supervised campaign's fault-tolerance summary.
+
+        ``statuses`` maps config key to final per-config state
+        (``ok``/``retried``/``salvaged``/``quarantined``/``lost``);
+        ``quarantines`` carries the replayable poison-config reports.
+        """
+        counts: Dict[str, int] = {}
+        for status in statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        self.supervisor = {
+            "statuses": dict(statuses),
+            "status_counts": counts,
+            "quarantines": list(quarantines),
+            "workers_killed": workers_killed,
+            "workers_lost": workers_lost,
+            "retried": retried,
+            "salvaged": salvaged,
+            "journal": journal,
         }
 
     # -- heartbeats --------------------------------------------------------
@@ -207,6 +241,7 @@ def build_manifest(
         "runs": runs,
         "phases": phases,
         "campaign": collector.campaign if collector is not None else None,
+        "supervisor": collector.supervisor if collector is not None else None,
         "store": store,
         "counters": counters,
         "trace": trace_info,

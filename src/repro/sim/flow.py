@@ -105,6 +105,8 @@ class SenderState:
         "rto_backoff",
         "retransmits",
         "retransmitted_bytes",
+        "last_rto_acked",
+        "probe_mode",
     )
 
     def __init__(self, flow: Flow, cc: "CongestionControl"):
@@ -121,6 +123,11 @@ class SenderState:
         self.rto_backoff = 1.0
         self.retransmits = 0
         self.retransmitted_bytes = 0
+        # Anti-livelock probe (see Host._rto_fired): the cumulative ACK at
+        # the previous RTO, and whether the sender is in single-packet
+        # stop-and-wait mode because consecutive RTOs made no progress.
+        self.last_rto_acked = -1
+        self.probe_mode = False
 
     @property
     def inflight(self) -> int:

@@ -161,6 +161,8 @@ class Host(Node):
             cc = state.cc
             if state.inflight >= cc.window_bytes:
                 return  # window-blocked; ACK arrival re-triggers
+            if state.probe_mode and state.next_seq > state.acked:
+                return  # stop-and-wait probe: one unacked packet at a time
             now = sim.now()
             if now < state.next_allowed:
                 self._arm_timer(state, state.next_allowed)
@@ -222,6 +224,16 @@ class Host(Node):
             # flow unfinished): keep watching without counting a timeout.
             self._arm_rto(state)
             return
+        # Consecutive RTOs without cumulative-ACK progress mean the rewound
+        # burst keeps losing the same packet — a deterministic dropper (e.g.
+        # FaultConfig.drop_every_nth) can phase-lock with the go-back-N burst
+        # and starve the flow forever.  Degrade to a single-packet
+        # stop-and-wait probe: a periodic dropper cannot hit every probe, so
+        # the cumulative ACK is guaranteed to advance eventually, at which
+        # point normal windowed sending resumes (see _receive_ack).
+        if state.acked == state.last_rto_acked:
+            state.probe_mode = True
+        state.last_rto_acked = state.acked
         # Go-back-N: rewind to the last cumulative ACK and resend from there.
         state.retransmits += 1
         state.retransmitted_bytes += state.next_seq - state.acked
@@ -316,8 +328,11 @@ class Host(Node):
         if chk is not None:
             chk.on_ack(state, pkt)
         if self.loss_recovery and newly > 0:
-            # Forward progress: reset the backoff and restart the RTO clock.
+            # Forward progress: reset the backoff and restart the RTO clock,
+            # and leave stop-and-wait probing (the phase-lock is broken).
             state.rto_backoff = 1.0
+            state.probe_mode = False
+            state.last_rto_acked = -1
             self._arm_rto(state, reset=True)
         ctx = self._ack_ctx
         ctx.now = now

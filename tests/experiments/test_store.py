@@ -11,10 +11,14 @@ from repro.experiments.config import (
     scaled_incast,
 )
 from repro.experiments.store import (
+    ENTRY_MAGIC,
+    CorruptEntry,
     ResultStore,
     canonical_config_repr,
     code_fingerprint,
     config_key,
+    decode_entry,
+    encode_entry,
 )
 
 
@@ -124,9 +128,72 @@ class TestResultStore:
         cfg = scaled_incast("swift", 4)
         store.put(cfg, "fine")
         store.path_for(cfg).write_bytes(b"not a pickle")
-        assert store.get(cfg) is None
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            assert store.get(cfg) is None
         assert store.stats.evicted_corrupt == 1
         assert not store.path_for(cfg).exists()
+
+    def test_bitflip_in_payload_caught_by_checksum(self, tmp_path):
+        """A flipped byte that still unpickles must NOT be served: the
+        checksum catches corruption the pickle parser would swallow."""
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        path = store.put(cfg, {"value": 12345})
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0xFF  # flip a payload byte near the end
+        path.write_bytes(bytes(data))
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert store.get(cfg) is None
+        assert store.stats.evicted_corrupt == 1
+        assert not path.exists()
+        # Self-healing: a fresh put serves again.
+        store.put(cfg, {"value": 12345})
+        assert store.get(cfg) == {"value": 12345}
+
+    def test_truncated_entry_caught_by_length(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        path = store.put(cfg, list(range(100)))
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.warns(RuntimeWarning):
+            assert store.get(cfg) is None
+        assert not path.exists()
+
+    def test_legacy_headerless_entry_still_loads(self, tmp_path):
+        import pickle
+
+        store = ResultStore(tmp_path)
+        cfg = scaled_incast("swift", 4)
+        path = store.path_for(cfg)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps("old-format"))
+        assert store.get(cfg) == "old-format"
+        assert store.stats.hits == 1
+
+    def test_verify_scan_reports_without_evicting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = scaled_incast("swift", 4)
+        bad = scaled_incast("swift", 8)
+        store.put(good, "good")
+        bad_path = store.put(bad, "bad")
+        data = bytearray(bad_path.read_bytes())
+        data[-1] ^= 0x01
+        bad_path.write_bytes(bytes(data))
+        checked, corrupt = store.verify()
+        assert checked == 2
+        assert corrupt == [bad_path]
+        assert bad_path.exists()  # verify is read-only
+
+    def test_entry_framing_roundtrip_and_rejections(self):
+        blob = b"payload bytes"
+        framed = encode_entry(blob)
+        assert framed.startswith(ENTRY_MAGIC)
+        assert decode_entry(framed) == blob
+        assert decode_entry(blob) == blob  # headerless passes through
+        with pytest.raises(CorruptEntry):
+            decode_entry(framed[:-1])  # short payload
+        with pytest.raises(CorruptEntry):
+            decode_entry(ENTRY_MAGIC + b"nonsense")  # torn header
 
     def test_gc_removes_only_stale_namespaces(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -116,21 +116,36 @@ class TestGoBackN:
         assert state.rto_timer is None
         assert state.rto_backoff == 1.0
 
-    def test_periodic_drop_livelock_is_surfaced_not_hidden(self):
-        """An every-Nth dropper aligned with the resend burst never makes
-        progress (the burst head is dropped every round).  The run must
-        surface this as a timeout with the flow reported incomplete, rather
-        than hanging or raising."""
+    def test_periodic_drop_phase_lock_broken_by_probe_mode(self):
+        """An every-Nth dropper aligned with the resend burst drops the burst
+        head every round, so plain go-back-N never makes progress.  After one
+        unproductive RTO the sender degrades to a single-packet stop-and-wait
+        probe, which a periodic dropper cannot hit every time — the flow must
+        complete instead of livelocking until the timeout."""
         net, h0, h1, sw = two_host_net()
         PacketDropInjector(
             ports=[sw.port_to[h1.node_id]], every_nth=4, seed=0
         ).install(net)
         net.enable_loss_recovery(rto_ns=us(20))
         flow, _ = run_flow(net, h0, h1, size=20_000)
-        status = net.run_until_flows_complete(timeout_ns=us(2000))
-        assert not status
-        assert status.stop_reason == "timeout"
-        assert status.incomplete_flows == (0,)
+        status = net.run_until_flows_complete(timeout_ns=us(20_000))
+        assert status
+        assert flow.completed
+        state = h0.senders[0]
+        assert state.retransmits >= 2  # recovery did the work
+        assert not state.probe_mode  # ...and normal sending resumed
+
+    def test_probe_mode_engages_only_after_unproductive_rto(self):
+        """A single drop (progress on the first RTO) must not trigger the
+        stop-and-wait degradation — probe mode is for repeated stalls."""
+        net, h0, h1, sw = two_host_net()
+        PacketDropInjector(
+            ports=[sw.port_to[h1.node_id]], every_nth=3, seed=0
+        ).install(net)
+        net.enable_loss_recovery()
+        flow, _ = run_flow(net, h0, h1, size=3000)
+        assert net.run_until_flows_complete(timeout_ns=us(5000))
+        assert h0.senders[0].last_rto_acked == -1  # reset on progress
 
     def test_corrupt_packets_discarded_and_recovered(self):
         net, h0, h1, sw = two_host_net()
