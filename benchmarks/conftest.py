@@ -44,14 +44,33 @@ def bench_once(benchmark, request):
         result = run_once(benchmark, fn, *args, **kwargs)
         wall = time.perf_counter() - start
         events = engine.total_events_executed() - events_before
-        _RESULTS[request.node.name] = {
-            "wall_s": round(wall, 4),
-            "events": events,
-            "events_per_s": round(events / wall) if wall > 0 else 0,
-        }
+        _RESULTS.setdefault(request.node.name, {}).update(
+            {
+                "wall_s": round(wall, 4),
+                "events": events,
+                "events_per_s": round(events / wall) if wall > 0 else 0,
+            }
+        )
         return result
 
     return _run
+
+
+@pytest.fixture
+def bench_extra(request):
+    """Attach extra numeric metrics to this benchmark's BENCH record.
+
+    Anything recorded here lands next to wall_s/events/events_per_s in
+    ``BENCH_results.json`` and flows into the ``obs diff`` regression gate
+    (every numeric field of a bench record becomes a metric).
+    """
+
+    def _record(**metrics):
+        rec = _RESULTS.setdefault(request.node.name, {})
+        for key, value in metrics.items():
+            rec[key] = round(float(value), 4)
+
+    return _record
 
 
 def pytest_sessionfinish(session):

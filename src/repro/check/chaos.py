@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..experiments.config import scaled_incast
+from ..experiments.config import scaled_incast, with_backend
 from ..experiments.parallel import AnyConfig, run_config
 from ..experiments.store import ResultStore, config_key
 from ..experiments.supervisor import (
@@ -89,6 +89,11 @@ class ChaosSpec:
 
     plan: Tuple[Tuple[str, str], ...]  # (config key, action) pairs
     first_attempt_only: bool = True
+    #: Seconds into a run before the injected SIGKILL fires.  Backends
+    #: faster than packet (flow mode finishes a reference config in
+    #: single-digit milliseconds) need a much shorter fuse so the kill
+    #: still lands mid-simulation.
+    kill_delay_s: float = KILL_DELAY_S
 
     def action_for(self, key: str) -> str:
         for plan_key, action in self.plan:
@@ -102,7 +107,7 @@ class ChaosSpec:
         action = self.action_for(key)
         if action == "kill":
             timer = threading.Timer(
-                KILL_DELAY_S, os.kill, (os.getpid(), signal.SIGKILL)
+                self.kill_delay_s, os.kill, (os.getpid(), signal.SIGKILL)
             )
             timer.daemon = True
             timer.start()
@@ -112,7 +117,9 @@ class ChaosSpec:
             raise ChaosTransientError(f"injected transient fault for {key[:8]}")
 
 
-def plan_chaos(keys: Sequence[str], seed: int) -> ChaosSpec:
+def plan_chaos(
+    keys: Sequence[str], seed: int, *, kill_delay_s: float = KILL_DELAY_S
+) -> ChaosSpec:
     """Assign every action to some key, deterministically from ``seed``.
 
     With at least ``len(ACTIONS)`` keys each action fires at least once
@@ -126,7 +133,7 @@ def plan_chaos(keys: Sequence[str], seed: int) -> ChaosSpec:
     plan = tuple(
         (key, ACTIONS[i % len(ACTIONS)]) for i, key in enumerate(order)
     )
-    return ChaosSpec(plan=plan)
+    return ChaosSpec(plan=plan, kill_delay_s=kill_delay_s)
 
 
 @dataclass(frozen=True)
@@ -172,6 +179,7 @@ class ChaosReport:
     """Every check from one chaos ladder; ``ok`` is the overall verdict."""
 
     seed: int
+    backend: str = "packet"
     checks: List[ChaosCheck] = field(default_factory=list)
     digests: Dict[str, str] = field(default_factory=dict)  # key -> baseline
 
@@ -180,7 +188,7 @@ class ChaosReport:
         return all(c.ok for c in self.checks)
 
     def render(self) -> str:
-        lines = [f"=== chaos harness (seed={self.seed}) ==="]
+        lines = [f"=== chaos harness (seed={self.seed}, backend={self.backend}) ==="]
         lines.extend(c.render() for c in self.checks)
         lines.append(
             f"{'PASS' if self.ok else 'FAIL'}: "
@@ -189,9 +197,11 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def reference_chaos_configs(n: int = 4) -> List[AnyConfig]:
+def reference_chaos_configs(
+    n: int = 4, backend: str = "packet"
+) -> List[AnyConfig]:
     """``n`` small, distinct incast configs (seed-varied; ~0.2 s each)."""
-    base = scaled_incast("swift", 4)
+    base = with_backend(scaled_incast("swift", 4), backend)
     return [dataclasses.replace(base, seed=base.seed + i) for i in range(n)]
 
 
@@ -203,17 +213,25 @@ def run_chaos(
     jobs: int = 2,
     journal_path: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backend: str = "packet",
 ) -> ChaosReport:
-    """Run the three-pass chaos ladder; see the module docstring."""
+    """Run the three-pass chaos ladder; see the module docstring.
+
+    ``backend`` reruns the whole ladder on another simulation backend —
+    the supervisor's journaling/salvage/quarantine machinery must be
+    backend-agnostic, so ``backend="flow"`` gets the same ladder with a
+    kill fuse short enough to land inside millisecond-scale fluid runs.
+    """
     if n_configs < len(ACTIONS):
         raise ValueError(
             f"n_configs must be >= {len(ACTIONS)} so every fault family fires"
         )
-    report = ChaosReport(seed=seed)
+    report = ChaosReport(seed=seed, backend=backend)
     say = progress if progress is not None else (lambda _msg: None)
-    configs = reference_chaos_configs(n_configs)
+    configs = reference_chaos_configs(n_configs, backend)
     keys = [cfg.cache_key() for cfg in configs]
-    spec = plan_chaos(keys, seed)
+    kill_delay_s = KILL_DELAY_S if backend == "packet" else 0.002
+    spec = plan_chaos(keys, seed, kill_delay_s=kill_delay_s)
     by_action = {action: key for key, action in spec.plan}
 
     # -- pass 1: fault-free baseline ---------------------------------------

@@ -259,6 +259,188 @@ def check_obs_on_vs_off(cfg: AnyConfig) -> DifferentialReport:
     )
 
 
+# ---------------------------------------------------------------------------
+# Packet-vs-flow backend divergence matrix
+# ---------------------------------------------------------------------------
+#
+# The flow backend is an *approximation*, so packet-vs-flow is not a
+# byte-identity check: instead each reference figure workload is run on
+# both backends and summary statistics are compared against documented
+# tolerance bands.  The bands encode where the fluid abstraction is
+# trusted (see DESIGN.md "When flow mode is trustworthy"):
+#
+# * ``slowdown_p50`` / ``slowdown_p99`` — per-flow FCT slowdown
+#   percentiles.  The fluid model carries no queueing delay or packet
+#   jitter, so it runs systematically *fast*; the band is wide enough for
+#   that bias but tight enough to catch a broken rate allocation (a
+#   missing bottleneck constraint shifts p99 by integer factors).
+# * ``jain_mean`` — mean Jain index after the last flow's start.  Both
+#   backends must agree on the fairness *regime* (converged vs. not);
+#   the band is absolute because Jain lives in [1/n, 1].
+# * ``convergence_us`` — time from last start until Jain >= 0.9.  The
+#   noisiest statistic (packet-level AIMD oscillates around the
+#   threshold), hence the widest band.  ``None`` (never converged) on
+#   exactly one backend is always a loud failure.
+
+#: Per-metric tolerance: divergence limit = abs_tol + rel_tol * |packet|.
+BACKEND_TOLERANCES = {
+    "slowdown_p50": (0.10, 0.25),  # (abs_tol, rel_tol)
+    "slowdown_p99": (0.10, 0.35),
+    "jain_mean": (0.12, 0.0),
+    "convergence_us": (25.0, 0.60),
+}
+
+#: Reference figure workloads for the divergence matrix (fig 8 is the
+#: paper's headline fast-convergence comparison and must stay in).
+BACKEND_REFERENCE_FIGURES = {
+    "1": ("hpcc", "hpcc-1gbps", "swift"),
+    "8": ("hpcc", "hpcc-vai-sf"),
+    "9": ("swift", "swift-vai-sf"),
+}
+
+
+@dataclass(frozen=True)
+class BackendDivergence:
+    """One (figure, variant, metric) cell of the divergence matrix."""
+
+    figure: str
+    variant: str
+    metric: str
+    packet: Optional[float]
+    flow: Optional[float]
+    divergence: float
+    limit: float
+
+    @property
+    def within(self) -> bool:
+        return self.divergence <= self.limit
+
+    def render(self) -> str:
+        status = "ok " if self.within else "FAIL"
+
+        def fmt(v: Optional[float]) -> str:
+            return "never" if v is None else f"{v:.3f}"
+
+        return (
+            f"[{status}] fig{self.figure}/{self.variant} {self.metric}: "
+            f"packet={fmt(self.packet)} flow={fmt(self.flow)} "
+            f"|d|={self.divergence:.3f} <= {self.limit:.3f}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "variant": self.variant,
+            "metric": self.metric,
+            "packet": self.packet,
+            "flow": self.flow,
+            "divergence": self.divergence,
+            "limit": self.limit,
+            "within": self.within,
+        }
+
+
+def _incast_divergence_metrics(result: Any) -> dict:
+    """Summary statistics compared across backends for one incast run."""
+    import numpy as np
+
+    from ..metrics.fct import ideal_fct_ns
+    from ..topology.star import build_star
+    from ..units import ns_to_us
+
+    cfg = result.config
+    topo = build_star(
+        cfg.n_senders,
+        rate_bps=cfg.rate_bps,
+        prop_delay_ns=cfg.prop_delay_ns,
+        seed=cfg.seed,
+    )
+    slowdowns = sorted(
+        f.fct / ideal_fct_ns(topo.network, f.src, f.dst, f.size)
+        for f in result.flows
+        if f.completed
+    )
+    if not slowdowns:
+        raise DifferentialMismatch(
+            f"no completed flows on {cfg.describe()} — cannot compare backends"
+        )
+    after = result.jain_times_ns >= result.last_start_ns
+    jain_mean = float(np.mean(result.jain_values[after])) if after.any() else 0.0
+    conv = result.convergence_ns
+    return {
+        "slowdown_p50": float(np.percentile(slowdowns, 50)),
+        "slowdown_p99": float(np.percentile(slowdowns, 99)),
+        "jain_mean": jain_mean,
+        "convergence_us": None if conv is None else ns_to_us(conv),
+    }
+
+
+def backend_divergence_matrix(
+    figures: Optional[List[str]] = None,
+) -> List[BackendDivergence]:
+    """Run each reference workload on both backends and compare metrics.
+
+    Returns every (figure, variant, metric) cell; callers decide whether
+    an out-of-band cell is fatal (:func:`assert_backend_matrix`) or just
+    reported.  A metric that is ``None`` (never converged) on exactly one
+    backend gets ``divergence = inf`` so it always fails loudly.
+    """
+    from ..experiments.config import with_backend
+
+    cells: List[BackendDivergence] = []
+    for figure in figures or sorted(BACKEND_REFERENCE_FIGURES):
+        try:
+            variants = BACKEND_REFERENCE_FIGURES[figure]
+        except KeyError:
+            raise ValueError(
+                f"figure {figure!r} has no backend reference workload "
+                f"(have {sorted(BACKEND_REFERENCE_FIGURES)})"
+            )
+        for variant in variants:
+            cfg = scaled_incast(variant, 16)
+            with _isolated_caches():
+                packet = _incast_divergence_metrics(run_config(cfg))
+            with _isolated_caches():
+                flow = _incast_divergence_metrics(
+                    run_config(with_backend(cfg, "flow"))
+                )
+            for metric, (abs_tol, rel_tol) in BACKEND_TOLERANCES.items():
+                p, f = packet[metric], flow[metric]
+                if p is None and f is None:
+                    divergence, limit = 0.0, 0.0
+                elif p is None or f is None:
+                    divergence, limit = float("inf"), 0.0
+                else:
+                    divergence = abs(f - p)
+                    limit = abs_tol + rel_tol * abs(p)
+                cells.append(
+                    BackendDivergence(
+                        figure=figure,
+                        variant=variant,
+                        metric=metric,
+                        packet=p,
+                        flow=f,
+                        divergence=divergence,
+                        limit=limit,
+                    )
+                )
+    return cells
+
+
+def assert_backend_matrix(
+    figures: Optional[List[str]] = None,
+) -> List[BackendDivergence]:
+    """Like :func:`backend_divergence_matrix` but raising on any breach."""
+    cells = backend_divergence_matrix(figures)
+    bad = [c for c in cells if not c.within]
+    if bad:
+        raise DifferentialMismatch(
+            f"{len(bad)} backend divergence(s) out of tolerance:\n"
+            + "\n".join(c.render() for c in bad)
+        )
+    return cells
+
+
 def run_matrix(
     cfg: AnyConfig, *, store_dir: str, jobs: int = 2
 ) -> List[DifferentialReport]:

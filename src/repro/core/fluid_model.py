@@ -26,7 +26,7 @@ guards the model against regressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy.integrate import solve_ivp
@@ -159,3 +159,102 @@ def fig4_series(
     """
     t = np.linspace(0.0, t_end_ns, n_points)
     return t, fairness_difference(t, params)
+
+
+# ---------------------------------------------------------------------------
+# General max-min fair allocation (flow-level simulation backend)
+# ---------------------------------------------------------------------------
+
+#: Relative slack used when deciding a link is saturated / a cap is reached.
+_WF_EPS = 1e-12
+
+
+def max_min_allocation(
+    capacities: Mapping[Hashable, float],
+    flow_links: Mapping[Hashable, Iterable[Hashable]],
+    caps: Optional[Mapping[Hashable, float]] = None,
+) -> Dict[Hashable, float]:
+    """Max-min fair rates via progressive water-filling.
+
+    Parameters
+    ----------
+    capacities:
+        Link id -> capacity (any consistent rate unit, >= 0).  A
+        zero-capacity link models a faulted/down link: every flow crossing
+        it is frozen at rate 0.
+    flow_links:
+        Flow id -> the link ids the flow traverses.  A flow listed with no
+        links (an idealized loopback) must carry a cap, otherwise its fair
+        rate would be unbounded and a ``ValueError`` is raised.
+    caps:
+        Optional flow id -> maximum rate (congestion-control window caps,
+        NIC line rates).  A capped flow freezes at its cap once the shared
+        water level reaches it; its unused share is redistributed.
+
+    Returns flow id -> allocated rate.  The algorithm raises all unfrozen
+    flows' rates in lockstep; each iteration freezes at least one flow
+    (either a saturated link's users or a flow at its cap), so it
+    terminates in at most ``len(flow_links)`` rounds.  Iteration order is
+    sorted by ``repr`` of the ids, making ties deterministic.
+    """
+    order = sorted(flow_links, key=repr)
+    links_of: Dict[Hashable, Tuple[Hashable, ...]] = {}
+    for fid in order:
+        links = tuple(flow_links[fid])
+        for link in links:
+            if link not in capacities:
+                raise KeyError(f"flow {fid!r} crosses unknown link {link!r}")
+            if capacities[link] < 0:
+                raise ValueError(f"link {link!r} has negative capacity")
+        if not links and (caps is None or fid not in caps):
+            raise ValueError(
+                f"flow {fid!r} crosses no links and has no cap; its max-min "
+                "rate is unbounded"
+            )
+        links_of[fid] = links
+
+    rates: Dict[Hashable, float] = {fid: 0.0 for fid in order}
+    remaining: Dict[Hashable, float] = dict(capacities)
+    unfrozen = list(order)
+    while unfrozen:
+        users: Dict[Hashable, int] = {}
+        for fid in unfrozen:
+            for link in links_of[fid]:
+                users[link] = users.get(link, 0) + 1
+        # The uniform increment at which the first constraint binds.
+        increment = float("inf")
+        for link in sorted(users, key=repr):
+            increment = min(increment, remaining[link] / users[link])
+        if caps is not None:
+            for fid in unfrozen:
+                cap = caps.get(fid)
+                if cap is not None:
+                    increment = min(increment, cap - rates[fid])
+        if increment == float("inf"):  # only capless, linkless flows remain
+            raise ValueError("unbounded allocation: no binding constraint")
+        increment = max(increment, 0.0)
+        for fid in unfrozen:
+            rates[fid] += increment
+        for link, n in users.items():
+            remaining[link] -= increment * n
+        still: list = []
+        for fid in unfrozen:
+            scale = max(
+                (capacities[link] for link in links_of[fid]), default=1.0
+            )
+            saturated = any(
+                remaining[link] <= _WF_EPS * max(capacities[link], 1.0)
+                for link in links_of[fid]
+            )
+            capped = (
+                caps is not None
+                and caps.get(fid) is not None
+                and rates[fid] >= caps[fid] - _WF_EPS * max(caps[fid], scale, 1.0)
+            )
+            if saturated or capped:
+                continue
+            still.append(fid)
+        if len(still) == len(unfrozen):  # pragma: no cover - defensive
+            raise RuntimeError("water-filling failed to make progress")
+        unfrozen = still
+    return rates

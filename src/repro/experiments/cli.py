@@ -34,6 +34,7 @@ from ..sim import engine
 from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
+from .config import BACKENDS, set_default_backend
 from .parallel import campaign_for_figures, run_campaign, run_config
 from .reporting import render
 from .runner import drain_incomplete_runs, run_with_retry, set_default_budget
@@ -81,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("scaled", "paper"),
         default="scaled",
         help="parameter preset (default: scaled; 'paper' is full Sec. VI-A scale)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="packet",
+        help=(
+            "simulation backend: 'packet' is the exact event-level "
+            "simulator, 'flow' the fluid fast path (~20x+ faster, "
+            "approximate — see DESIGN.md), 'hybrid' packetizes short "
+            "flows over a fluid background (default: packet)"
+        ),
     )
     parser.add_argument(
         "--budget-seconds",
@@ -484,6 +496,24 @@ def check_main(argv: List[str]) -> int:
         metavar="N",
         help="worker processes for the serial-vs-parallel leg (default: 2)",
     )
+    di.add_argument(
+        "--backends",
+        nargs="*",
+        metavar="FIG",
+        default=None,
+        help=(
+            "run the packet-vs-flow backend divergence matrix instead: "
+            "each reference figure workload (default: all of "
+            "1/8/9) runs on both backends and summary statistics must "
+            "agree within documented tolerance bands"
+        ),
+    )
+    di.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the divergence matrix as JSON to PATH (CI failure artifact)",
+    )
     ch = sub.add_parser(
         "chaos",
         help=(
@@ -523,6 +553,16 @@ def check_main(argv: List[str]) -> int:
         "--verbose",
         action="store_true",
         help="stream supervisor progress lines while the ladder runs",
+    )
+    ch.add_argument(
+        "--backend",
+        choices=("packet", "flow"),
+        default="packet",
+        help=(
+            "simulation backend for the chaos ladder; 'flow' proves the "
+            "supervisor's journaling/salvage/quarantine machinery is "
+            "backend-agnostic (default: packet)"
+        ),
     )
     args = parser.parse_args(argv)
     # Imported here, not at module top: differential pulls in the whole
@@ -595,12 +635,37 @@ def check_main(argv: List[str]) -> int:
                 jobs=args.jobs,
                 journal_path=journal_path,
                 progress=progress,
+                backend=args.backend,
             )
         print(report.render())
         return 0 if report.ok else 1
     # args.verb == "differential"
     import tempfile
 
+    if args.backends is not None:
+        figures = args.backends or None  # empty list = all reference figures
+        try:
+            cells = differential.backend_divergence_matrix(figures)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for cell in cells:
+            print(cell.render())
+        if args.report_out is not None:
+            Path(args.report_out).write_text(
+                json.dumps([c.to_dict() for c in cells], indent=2) + "\n"
+            )
+            print(f"[report] divergence matrix -> {args.report_out}")
+        bad = [c for c in cells if not c.within]
+        if bad:
+            print(
+                f"backend divergence matrix: FAIL ({len(bad)} cell(s) out "
+                "of tolerance)",
+                file=sys.stderr,
+            )
+            return 1
+        print("backend divergence matrix: ok")
+        return 0
     cfg = differential.reference_config(args.preset)
     with tempfile.TemporaryDirectory(prefix="repro-diff-") as tmp:
         reports = differential.run_matrix(cfg, store_dir=tmp, jobs=args.jobs)
@@ -639,6 +704,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv[:1] == ["check"]:
         return check_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.backend != "packet":
+        # Process-wide default: the figure functions spell packet-backend
+        # configs, and the cache boundary rewrites them (pool workers get
+        # the same default via the initializer).
+        set_default_backend(args.backend)
+        print(f"[backend] running simulations on the [{args.backend}] backend")
     wall_start = time.perf_counter()
     events_start = engine.total_events_executed()
     figs = list(args.figs or [])
@@ -718,7 +789,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Run the figures' simulations as one deduplicated campaign up front;
     # the figure functions then replay them from the warm caches.
     exit_code = 0
-    campaign = campaign_for_figures(figs, scale=args.scale)
+    campaign = campaign_for_figures(figs, scale=args.scale, backend=args.backend)
     if campaign:
         campaign_events = engine.total_events_executed()
         try:

@@ -54,6 +54,17 @@ def red_for_rate(rate_bps: float) -> RedConfig:
 #: Valid ``FaultConfig.target`` values for packet-level faults.
 FAULT_TARGETS = ("bottleneck", "fabric", "all")
 
+#: Valid simulation backends.  ``packet`` is the exact discrete-event
+#: engine; ``flow`` is the fluid fast path (:mod:`repro.sim.fluid`);
+#: ``hybrid`` packetizes designated flows over a fluid background (see
+#: :mod:`repro.experiments.flowsim`).
+BACKENDS = ("packet", "flow", "hybrid")
+
+
+def _validate_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
 
 @dataclass(frozen=True)
 class FaultConfig(_CacheKeyMixin):
@@ -120,12 +131,19 @@ class IncastConfig(_CacheKeyMixin):
     timeout_ns: float = ms(50.0)
     seed: int = 1
     faults: Optional[FaultConfig] = None
+    #: Simulation backend (defaulted, so packet-run cache keys are
+    #: unchanged from before the field existed — see store.config_key).
+    backend: str = "packet"
+
+    def __post_init__(self) -> None:
+        _validate_backend(self.backend)
 
     def describe(self) -> str:
+        tag = "" if self.backend == "packet" else f" [{self.backend}]"
         return (
             f"{self.n_senders}-1 incast, {self.variant}, "
             f"{self.flow_size_bytes / 1e6:g} MB flows, "
-            f"{self.rate_bps / 1e9:g} Gbps links"
+            f"{self.rate_bps / 1e9:g} Gbps links{tag}"
         )
 
 
@@ -143,12 +161,24 @@ class DatacenterConfig(_CacheKeyMixin):
     fs_max_cwnd_pkts: float = 100.0
     seed: int = 42
     faults: Optional[FaultConfig] = None
+    #: Simulation backend (defaulted, so packet-run cache keys are
+    #: unchanged from before the field existed — see store.config_key).
+    backend: str = "packet"
+    #: ``backend="hybrid"`` packetizes flows at or below this size (the
+    #: latency-sensitive short flows); larger flows stay fluid background.
+    hybrid_packet_max_bytes: int = 100_000
+
+    def __post_init__(self) -> None:
+        _validate_backend(self.backend)
+        if self.hybrid_packet_max_bytes <= 0:
+            raise ValueError("hybrid_packet_max_bytes must be positive")
 
     def describe(self) -> str:
+        tag = "" if self.backend == "packet" else f" [{self.backend}]"
         return (
             f"{self.workload} @ {self.load:.0%} load on "
             f"{self.fattree.n_hosts}-host fat-tree, {self.variant}, "
-            f"{self.duration_ns / 1e6:g} ms"
+            f"{self.duration_ns / 1e6:g} ms{tag}"
         )
 
 
@@ -214,6 +244,49 @@ def scaled_datacenter(
 def with_seed(cfg, seed: int):
     """A copy of any config with a different seed (multi-seed sweeps)."""
     return replace(cfg, seed=seed)
+
+
+def with_backend(cfg, backend: str):
+    """A copy of any config running on a different simulation backend."""
+    _validate_backend(backend)
+    return replace(cfg, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# Process-default backend (CLI --backend)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_BACKEND = "packet"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the backend applied to configs left at the default ``"packet"``.
+
+    The CLI's ``--backend`` installs this so that figure functions — which
+    construct their own configs without a backend argument — transparently
+    run (and cache) on the selected backend.  Configs that carry an
+    explicit non-default backend are never rewritten.
+    """
+    _validate_backend(backend)
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+
+
+def get_default_backend() -> str:
+    return _DEFAULT_BACKEND
+
+
+def apply_default_backend(cfg):
+    """Normalize a config to the process-default backend.
+
+    Called at every cache boundary (runner LRU/store lookups, the campaign
+    dispatcher) so a figure's internally built packet-default config keys
+    and runs under the process default.  No-op when the default is
+    ``packet`` or the config already names another backend.
+    """
+    if _DEFAULT_BACKEND != "packet" and getattr(cfg, "backend", None) == "packet":
+        return replace(cfg, backend=_DEFAULT_BACKEND)
+    return cfg
 
 
 #: The variant line-ups each figure compares (paper legends).

@@ -42,10 +42,14 @@ from .config import (
     SCALED_LARGE_INCAST,
     DatacenterConfig,
     IncastConfig,
+    apply_default_backend,
+    get_default_backend,
     paper_datacenter,
     paper_incast,
     scaled_datacenter,
     scaled_incast,
+    set_default_backend,
+    with_backend,
 )
 from .runner import (
     peek_cached,
@@ -68,6 +72,7 @@ def run_config(cfg: AnyConfig) -> Any:
     by exposing a ``run_self()`` method — the chaos harness's poison configs
     and test doubles (slow runs, self-killing workers) use this hook.
     """
+    cfg = apply_default_backend(cfg)
     if isinstance(cfg, IncastConfig):
         return run_incast(cfg)
     if isinstance(cfg, DatacenterConfig):
@@ -82,6 +87,7 @@ def _worker_init(
     budget: Optional[RunBudget],
     analytics_config: Optional["obs_analytics.AnalyticsConfig"] = None,
     sanitize: bool = False,
+    default_backend: str = "packet",
 ) -> None:
     """Pool initializer: re-install the parent's watchdog and analytics.
 
@@ -96,6 +102,7 @@ def _worker_init(
     like any other run failure.
     """
     set_default_budget(budget)
+    set_default_backend(default_backend)
     if analytics_config is not None:
         obs_analytics.enable(analytics_config)
     if sanitize:
@@ -301,6 +308,7 @@ def run_campaign(
                     budget,
                     parent_agg.config if parent_agg is not None else None,
                     check_invariants.CHECKER is not None,
+                    get_default_backend(),
                 ),
             )
             futures = [(cfg, pool.submit(_run_config_timed, cfg)) for cfg in pending]
@@ -460,14 +468,19 @@ def figure_configs(fig_id: str, scale: str = "scaled") -> List[AnyConfig]:
 
 
 def campaign_for_figures(
-    fig_ids: Sequence[str], scale: str = "scaled"
+    fig_ids: Sequence[str], scale: str = "scaled", backend: str = "packet"
 ) -> List[AnyConfig]:
     """Union of configs for a figure selection, duplicates included.
 
     ``run_campaign`` deduplicates by content key, so figure pairs sharing
-    simulations (2/3 with 1, 12/13 with 10/11) cost nothing extra.
+    simulations (2/3 with 1, 12/13 with 10/11) cost nothing extra.  A
+    non-default ``backend`` is stamped onto every config so campaign keys
+    match what the figure functions will look up after
+    :func:`repro.experiments.config.set_default_backend`.
     """
     out: List[AnyConfig] = []
     for fig_id in fig_ids:
         out.extend(figure_configs(fig_id, scale))
+    if backend != "packet":
+        out = [with_backend(cfg, backend) for cfg in out]
     return out

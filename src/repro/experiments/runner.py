@@ -55,7 +55,13 @@ from ..topology.star import build_star
 from ..workloads.distributions import ScaledDistribution, get_distribution
 from ..workloads.incast import staggered_incast
 from ..workloads.poisson import generate_poisson_traffic
-from .config import DatacenterConfig, FaultConfig, IncastConfig, red_for_rate
+from .config import (
+    DatacenterConfig,
+    FaultConfig,
+    IncastConfig,
+    apply_default_backend,
+    red_for_rate,
+)
 from .store import get_store
 
 
@@ -323,6 +329,25 @@ class IncastResult:
 
 
 def run_incast(cfg: IncastConfig) -> IncastResult:
+    """Run one staggered incast on the config's backend.
+
+    ``backend="packet"`` is the exact discrete-event path below;
+    ``"flow"`` dispatches to the fluid fast path and ``"hybrid"`` to the
+    mixed runner (both in :mod:`repro.experiments.flowsim`, imported
+    lazily so the packet path's import graph is unchanged).
+    """
+    if cfg.backend == "flow":
+        from .flowsim import run_incast_flow
+
+        return run_incast_flow(cfg)
+    if cfg.backend == "hybrid":
+        from .flowsim import run_incast_hybrid
+
+        return run_incast_hybrid(cfg)
+    return _run_incast_packet(cfg)
+
+
+def _run_incast_packet(cfg: IncastConfig) -> IncastResult:
     """Run one staggered incast and collect fairness/queue series."""
     t_begin = time.perf_counter()
     _begin_sanitized_run(cfg)
@@ -434,6 +459,19 @@ class DatacenterResult:
 
 
 def run_datacenter(cfg: DatacenterConfig) -> DatacenterResult:
+    """Run one fat-tree trace on the config's backend (see run_incast)."""
+    if cfg.backend == "flow":
+        from .flowsim import run_datacenter_flow
+
+        return run_datacenter_flow(cfg)
+    if cfg.backend == "hybrid":
+        from .flowsim import run_datacenter_hybrid
+
+        return run_datacenter_hybrid(cfg)
+    return _run_datacenter_packet(cfg)
+
+
+def _run_datacenter_packet(cfg: DatacenterConfig) -> DatacenterResult:
     """Run one fat-tree trace: Poisson arrivals for ``duration``, then drain."""
     t_begin = time.perf_counter()
     _begin_sanitized_run(cfg)
@@ -576,8 +614,12 @@ def _run_cached(cache: LRUCache, run: Callable[[Any], Any], cfg: Any) -> Any:
 
     Both tiers key on ``cfg.cache_key()`` (the canonical content hash), so a
     result computed under one spelling of a config hits under any equal
-    spelling, in this process or a later one.
+    spelling, in this process or a later one.  The config is normalized to
+    the process-default backend first, so a figure's internally built
+    packet-default config keys (and runs) under ``--backend flow`` without
+    the figure code knowing backends exist.
     """
+    cfg = apply_default_backend(cfg)
     key = cfg.cache_key()
     result = cache.get(key)
     if result is not None:
@@ -599,6 +641,7 @@ def peek_cached(cfg: Any) -> Optional[Any]:
     A store hit is promoted into the memory LRU so later ``run_*_cached``
     calls skip the disk read.
     """
+    cfg = apply_default_backend(cfg)
     cache = _INCAST_CACHE if isinstance(cfg, IncastConfig) else _DC_CACHE
     key = cfg.cache_key()
     result = cache.get(key)
@@ -619,6 +662,7 @@ def seed_result_caches(cfg: Any, result: Any) -> None:
     seeds its own LRU and the store with the returned results so figure
     rendering afterwards is pure cache hits.
     """
+    cfg = apply_default_backend(cfg)
     cache = _INCAST_CACHE if isinstance(cfg, IncastConfig) else _DC_CACHE
     cache.put(cfg.cache_key(), result)
     store = get_store()

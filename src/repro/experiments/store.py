@@ -238,7 +238,14 @@ class ResultStore:
         return self.root / self.fingerprint
 
     def path_for(self, cfg: Any) -> Path:
-        return self.namespace / f"{type(cfg).__name__}-{config_key(cfg)}.pkl"
+        # The backend rides in the filename as well as the content key:
+        # config_key already separates packet from flow/hybrid (the field
+        # only renders when non-default), but naming it makes a mixed-
+        # backend store auditable by eye and keeps the two from colliding
+        # even if the key algorithm ever changes.
+        backend = getattr(cfg, "backend", None)
+        tag = f"{backend}-" if isinstance(backend, str) else ""
+        return self.namespace / f"{type(cfg).__name__}-{tag}{config_key(cfg)}.pkl"
 
     # -- access -----------------------------------------------------------
 

@@ -48,6 +48,8 @@ DEFAULT_TOLERANCE = 0.25
 _DIRECTION_SUFFIXES = (
     ("wall_s", "lower"),
     ("events_per_s", "higher"),
+    ("runs_per_s", "higher"),
+    ("speedup", "higher"),
     ("events_executed", "near"),
     ("events", "near"),
     ("convergence_ns", "lower"),
@@ -98,8 +100,12 @@ def extract_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
         for key in ("wall_s", "events", "events_per_s"):
             _put(metrics, f"total.{key}", total.get(key))
         for name, rec in sorted((doc.get("benchmarks") or {}).items()):
-            for key in ("wall_s", "events", "events_per_s"):
-                _put(metrics, f"bench.{_slug(name)}.{key}", (rec or {}).get(key))
+            # Every numeric field in the record becomes a metric: besides
+            # the standard wall_s/events/events_per_s triple this carries
+            # benchmark-specific extras (e.g. the flow-backend bench's
+            # runs_per_s and speedup) into the regression gate.
+            for key, value in sorted((rec or {}).items()):
+                _put(metrics, f"bench.{_slug(name)}.{key}", value)
         return metrics
     if doc.get("kind") == "repro-telemetry" or "events_executed" in doc:
         for key in ("wall_s", "events_executed", "events_per_s"):

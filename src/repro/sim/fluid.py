@@ -1,0 +1,662 @@
+"""Event-driven flow-level (fluid) simulation engine.
+
+The packet engine executes one event per packet per hop — exact, but
+~3x10^5 events/s caps experiments far below paper scale.  This engine
+models each flow as a *rate process* instead: between events every active
+flow transfers bytes at a piecewise-constant rate, and events fire only
+when the rate picture changes (a flow arrives, departs, a link flaps, a
+relaxation tick) or a monitor samples.  A 16-flow incast that costs the
+packet engine ~200k events costs this engine a few hundred.
+
+Rate model
+----------
+
+* **Targets** come from max-min fair water-filling
+  (:func:`repro.core.fluid_model.max_min_allocation`) over *goodput*
+  capacities (line rate derated by the MTU header overhead), with
+  per-flow caps modelling congestion-control window limits.  A
+  topology change only recomputes the water level inside the affected
+  bottleneck component: flows sharing no link (transitively) with the
+  changed flows keep their targets untouched.
+* **Convergence lag** makes the backend CC-aware: instead of snapping to
+  the target, each flow's intrinsic rate relaxes toward it first-order,
+  ``r(t + dt) = T + (r(t) - T) * exp(-dt / tau)``, with ``tau`` the
+  variant's convergence time constant (fast for VAI+SF variants, slow
+  for default HPCC/Swift — see :mod:`repro.experiments.flowsim`).
+  ``tau = 0`` snaps instantly (ideal fair sharing).  Periodic relaxation
+  ticks (every ``min(tau)/4``) bound the staleness of the
+  piecewise-constant approximation.
+* **Feasibility**: intrinsic rates may transiently oversubscribe a link
+  (a newly arrived flow starts at line rate, exactly like a fresh CC
+  window).  Served rates are intrinsic rates scaled down per link so no
+  link exceeds capacity; the overhang feeds a modelled queue on the
+  monitored bottleneck links (diagnostic only — queued bytes are not
+  re-delivered, the paper's queue figures need depth, not payload).
+
+Completion semantics mirror the packet engine: a flow finishes when its
+payload has drained at the served rate, plus a constant per-flow latency
+offset chosen so an *uncontended* flow's FCT equals
+:func:`repro.metrics.fct.ideal_fct_ns` exactly (slowdown 1.0).
+
+ECMP fidelity: paths are walked through the switches' real routing
+tables using the same ``ecmp_hash % len(group)`` selection as
+:meth:`repro.sim.switch.Switch.route`, so a fluid flow occupies exactly
+the links its packet twin would.  Link flaps reuse
+:meth:`repro.sim.network.Network.set_link_state`, so reroutes see the
+same post-flap tables.
+
+Everything is deterministic: no RNG, sorted iteration everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.fluid_model import max_min_allocation
+from ..metrics.fct import ideal_fct_ns
+from .flow import Flow
+from .network import CompletionStatus, Network
+from .packet import HEADER_BYTES
+from .port import Port
+from .switch import Switch
+
+__all__ = ["FluidEngine", "FluidFlowParams", "GOODPUT_FRACTION"]
+
+#: MTU payload bytes (matches the packet engine's segmentation).
+MTU_PAYLOAD = 1000
+
+#: Fraction of line rate available to payload after per-packet headers.
+GOODPUT_FRACTION = MTU_PAYLOAD / (MTU_PAYLOAD + HEADER_BYTES)
+
+#: A flow with less than this many payload bytes left is complete.
+_EPS_BYTES = 1e-6
+
+#: Relative rate error below which relaxation is considered converged.
+_RELAX_TOL = 1e-3
+
+#: Floor for the relaxation tick interval (ns) — bounds event count.
+_MIN_RELAX_TICK_NS = 500.0
+
+
+@dataclass(frozen=True)
+class FluidFlowParams:
+    """Per-flow congestion-control abstraction for the fluid engine.
+
+    ``tau_ns`` is the first-order convergence lag toward the max-min
+    target (0 = instant).  ``cap_bytes_per_ns`` caps the intrinsic rate
+    (window / base-RTT); None means only link capacities bind.
+    ``start_fraction`` sets the arrival rate as a fraction of the path's
+    goodput capacity (1.0 = line rate, like a fresh CC window).
+    """
+
+    tau_ns: float = 0.0
+    cap_bytes_per_ns: Optional[float] = None
+    start_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tau_ns < 0:
+            raise ValueError("tau_ns must be non-negative")
+        if self.cap_bytes_per_ns is not None and self.cap_bytes_per_ns <= 0:
+            raise ValueError("cap_bytes_per_ns must be positive")
+        if not 0.0 < self.start_fraction <= 1.0:
+            raise ValueError("start_fraction must be in (0, 1]")
+
+
+#: A directed link: (upstream node id, downstream node id).
+DLink = Tuple[int, int]
+
+
+@dataclass
+class _FlowState:
+    flow: Flow
+    params: FluidFlowParams
+    remaining: float
+    latency_ns: float
+    path: Optional[Tuple[DLink, ...]] = None
+    r_int: float = 0.0  # intrinsic (demanded) rate, bytes/ns
+    r_srv: float = 0.0  # served rate after per-link feasibility scaling
+    target: float = 0.0
+
+
+@dataclass
+class _Samples:
+    times: List[float] = field(default_factory=list)
+    values: List = field(default_factory=list)
+
+
+class FluidEngine:
+    """Flow-level simulation over a built (but packet-idle) network.
+
+    Parameters
+    ----------
+    net:
+        A wired :class:`~repro.sim.network.Network` with routing built.
+        The engine never schedules packet events on it; it only reads the
+        topology/routing and (for link flaps) toggles link state.
+    monitored_ports:
+        Egress ports whose modelled queue depth is sampled (the
+        topology's bottleneck ports).
+    rate_sample_interval_ns / queue_sample_interval_ns:
+        Enable periodic sampling of per-flow served rates (Jain series)
+        and summed monitored-queue depth.  None disables a sampler.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        *,
+        monitored_ports: Sequence[Port] = (),
+        rate_sample_interval_ns: Optional[float] = None,
+        queue_sample_interval_ns: Optional[float] = None,
+        md_delay_ns: float = 0.0,
+        track_link_utilization: bool = False,
+    ):
+        self.net = net
+        #: How long an oversubscription burst feeds the modeled queue before
+        #: multiplicative decrease lands (typically one base RTT).
+        self.md_delay_ns = md_delay_ns
+        self.now = 0.0
+        self.events_executed = 0
+        self._flows: Dict[int, _FlowState] = {}
+        self._order: List[int] = []  # registration order (sampling columns)
+        self._active: Set[int] = set()
+        self._arrivals: List[Tuple[float, int]] = []
+        self._arrival_idx = 0
+        self._link_users: Dict[DLink, Set[int]] = {}
+        self._monitored: Tuple[DLink, ...] = tuple(
+            (p.owner.node_id, p.peer_node.node_id) for p in monitored_ports
+        )
+        self._queues: Dict[DLink, float] = {d: 0.0 for d in self._monitored}
+        #: Served bytes per directed link (hybrid-mode derating input).
+        #: Only accumulated when requested — it costs a full link scan per
+        #: event and only :meth:`link_utilization` reads it.
+        self._track_utilization = track_link_utilization
+        self._link_bytes: Dict[DLink, float] = {}
+        #: Goodput capacity per directed link; invalidated on link flaps
+        #: (port lookups are far too slow for the per-event hot loops).
+        self._cap_cache: Dict[DLink, float] = {}
+        self._rate_interval = rate_sample_interval_ns
+        self._queue_interval = queue_sample_interval_ns
+        self._rate_samples = _Samples()
+        self._queue_samples = _Samples()
+        self._next_rate_sample = (
+            rate_sample_interval_ns if rate_sample_interval_ns else math.inf
+        )
+        self._next_queue_sample = (
+            queue_sample_interval_ns if queue_sample_interval_ns else math.inf
+        )
+        self._next_relax = math.inf
+        #: (time, a, b, up) link state toggles, sorted by time.
+        self._flaps: List[Tuple[float, int, int, bool]] = []
+        self._flap_idx = 0
+
+    # -- setup -------------------------------------------------------------
+
+    def add_flow(self, flow: Flow, params: FluidFlowParams) -> None:
+        if flow.flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        latency = ideal_fct_ns(self.net, flow.src, flow.dst, flow.size)
+        path = self._path_links(flow.src, flow.dst, flow.ecmp_hash)
+        if path:
+            bottleneck = min(self._capacity(d) for d in path)
+            if bottleneck > 0:
+                latency -= flow.size / bottleneck
+        self._flows[flow.flow_id] = _FlowState(
+            flow=flow,
+            params=params,
+            remaining=float(flow.size),
+            latency_ns=max(latency, 0.0),
+        )
+        self._order.append(flow.flow_id)
+        self._arrivals.append((flow.start_time, flow.flow_id))
+
+    def schedule_link_flap(
+        self,
+        a: int,
+        b: int,
+        *,
+        down_at_ns: float,
+        down_for_ns: float,
+        period_ns: Optional[float] = None,
+        count: int = 1,
+    ) -> None:
+        """Register link down/up toggles (the fluid form of a link flap)."""
+        for i in range(count):
+            offset = (period_ns or 0.0) * i
+            self._flaps.append((down_at_ns + offset, a, b, False))
+            self._flaps.append((down_at_ns + offset + down_for_ns, a, b, True))
+
+    # -- topology helpers --------------------------------------------------
+
+    def _capacity(self, dlink: DLink) -> float:
+        """Goodput capacity of a directed link in bytes/ns (0 when down)."""
+        cached = self._cap_cache.get(dlink)
+        if cached is not None:
+            return cached
+        u, v = dlink
+        port = self.net.nodes[u].port_to[v]
+        cap = (
+            port.spec.rate_bps / 8e9 * GOODPUT_FRACTION if port.link_up else 0.0
+        )
+        self._cap_cache[dlink] = cap
+        return cap
+
+    def _path_links(
+        self, src: int, dst: int, ecmp_hash: int
+    ) -> Optional[Tuple[DLink, ...]]:
+        """The directed links a flow occupies, via real ECMP tables.
+
+        Mirrors the packet path hop by hop: hosts forward on their single
+        uplink; switches pick ``group[hash % len(group)]`` from their
+        routing table.  Returns None when the destination is unreachable
+        (down links, blackout) — the flow then idles at rate 0 until a
+        reroute event restores a path.
+        """
+        node = self.net.nodes[src]
+        links: List[DLink] = []
+        for _ in range(len(self.net.nodes)):
+            if node.node_id == dst:
+                return tuple(links)
+            if isinstance(node, Switch):
+                group = node.routes.get(dst)
+                if not group:
+                    return None
+                port = group[ecmp_hash % len(group)] if len(group) > 1 else group[0]
+            else:
+                if not node.ports:
+                    return None
+                port = node.ports[0]
+            if not port.link_up:
+                return None
+            links.append((node.node_id, port.peer_node.node_id))
+            node = port.peer_node
+        return None  # pragma: no cover - routing loop (defensive)
+
+    # -- rate bookkeeping --------------------------------------------------
+
+    def _occupy(self, fid: int) -> None:
+        st = self._flows[fid]
+        st.path = self._path_links(st.flow.src, st.flow.dst, st.flow.ecmp_hash)
+        for dlink in st.path or ():
+            self._link_users.setdefault(dlink, set()).add(fid)
+
+    def _vacate(self, fid: int) -> None:
+        st = self._flows[fid]
+        for dlink in st.path or ():
+            users = self._link_users.get(dlink)
+            if users is not None:
+                users.discard(fid)
+                if not users:
+                    del self._link_users[dlink]
+        st.path = None
+
+    def _component_of(self, seeds: Set[int]) -> Set[int]:
+        """Active flows sharing links (transitively) with ``seeds``."""
+        component: Set[int] = set()
+        frontier = [fid for fid in sorted(seeds) if fid in self._active]
+        while frontier:
+            fid = frontier.pop()
+            if fid in component:
+                continue
+            component.add(fid)
+            for dlink in self._flows[fid].path or ():
+                for other in self._link_users.get(dlink, ()):
+                    if other not in component:
+                        frontier.append(other)
+        return component
+
+    def _recompute_targets(self, changed: Set[int]) -> None:
+        """Water-fill the bottleneck component(s) touched by ``changed``."""
+        component = self._component_of(changed)
+        if not component:
+            return
+        flow_links: Dict[int, Tuple[DLink, ...]] = {}
+        caps: Dict[int, float] = {}
+        capacities: Dict[DLink, float] = {}
+        for fid in sorted(component):
+            st = self._flows[fid]
+            path = st.path or ()
+            flow_links[fid] = path
+            for dlink in path:
+                if dlink not in capacities:
+                    capacities[dlink] = self._capacity(dlink)
+            if not path:
+                caps[fid] = 0.0  # unroutable: park at zero
+            elif st.params.cap_bytes_per_ns is not None:
+                caps[fid] = st.params.cap_bytes_per_ns
+        targets = max_min_allocation(capacities, flow_links, caps or None)
+        for fid, target in targets.items():
+            self._flows[fid].target = target
+
+    def _relax_decay(self, dt: float) -> None:
+        """First-order relaxation toward the *current* targets over ``dt``.
+
+        Called before an event's state change is applied, so the elapsed
+        interval decays toward the targets that were in force during it.
+        """
+        if dt <= 0.0:
+            return
+        flows = self._flows
+        exp = math.exp
+        for fid in self._active:
+            st = flows[fid]
+            tau = st.params.tau_ns
+            if tau > 0.0:
+                target = st.target
+                delta = st.r_int - target
+                if delta == 0.0:
+                    continue
+                decayed = delta * exp(-dt / tau)
+                # Land exactly on the target once the residual is far below
+                # any physical meaning; converged flows then cost nothing.
+                if -1e-12 * target < decayed < 1e-12 * target:
+                    st.r_int = target
+                else:
+                    st.r_int = target + decayed
+
+    def _snap_zero_tau(self) -> None:
+        for fid in self._active:
+            st = self._flows[fid]
+            if st.params.tau_ns == 0.0:
+                st.r_int = st.target
+
+    def _commit_feasibility(self) -> None:
+        """Multiplicative decrease: make the scaled-down rates *intrinsic*.
+
+        Called when congestion appears (an arrival oversubscribes a link, a
+        flap reroutes flows onto fewer links).  Real CC cuts rates within
+        an RTT of congestion onset — much faster than it converges to
+        fairness — so the squeeze is immediate while the squeezed vector
+        relaxes toward the fair targets with lag ``tau``.  This is what
+        makes late arrivals (fresh window, full rate) hold more than their
+        fair share while incumbents sit below it: the paper's unfairness
+        signature, persisting for O(tau).
+
+        The burst of excess demand between congestion onset and the cut —
+        roughly one base RTT of (load - capacity) — is what a real switch
+        buffers, so it is credited to the monitored queues here
+        (``md_delay_ns``); the queues then drain via :meth:`_advance`
+        whenever departures leave the links under-loaded.
+        """
+        if self.md_delay_ns > 0.0:
+            for dlink in self._monitored:
+                users = self._link_users.get(dlink, ())
+                load = sum(self._flows[fid].r_int for fid in users)
+                excess = load - self._capacity(dlink)
+                if excess > 0.0:
+                    self._queues[dlink] += excess * self.md_delay_ns
+        for fid in self._active:
+            st = self._flows[fid]
+            st.r_int = st.r_srv
+
+    def _snap_new_flows(self, fresh: Set[int]) -> None:
+        """Arrivals start at line rate (or instantly at target for tau=0)."""
+        for fid in sorted(fresh):
+            st = self._flows[fid]
+            if st.params.tau_ns == 0.0 or not st.path:
+                st.r_int = st.target
+                continue
+            path_cap = min(self._capacity(d) for d in st.path)
+            if st.params.cap_bytes_per_ns is not None:
+                path_cap = min(path_cap, st.params.cap_bytes_per_ns)
+            st.r_int = st.params.start_fraction * path_cap
+
+    def _scale_served(self) -> None:
+        """Served = intrinsic scaled so no link exceeds its capacity."""
+        flows = self._flows
+        caps = self._cap_cache
+        factors: Dict[DLink, float] = {}
+        for dlink, users in self._link_users.items():
+            load = 0.0
+            for fid in users:
+                load += flows[fid].r_int
+            if load <= 0.0:
+                continue
+            cap = caps.get(dlink)
+            if cap is None:
+                cap = self._capacity(dlink)
+            if load > cap:
+                factors[dlink] = cap / load
+        for fid in self._active:
+            st = flows[fid]
+            if not st.path:
+                st.r_srv = 0.0
+                continue
+            factor = 1.0
+            if factors:
+                for d in st.path:
+                    f = factors.get(d)
+                    if f is not None and f < factor:
+                        factor = f
+            st.r_srv = st.r_int * factor
+
+    def _schedule_relax_tick(self) -> None:
+        flows = self._flows
+        min_tau = math.inf
+        for fid in self._active:
+            st = flows[fid]
+            tau = st.params.tau_ns
+            if tau <= 0.0 or tau >= min_tau:
+                continue
+            target, r_int = st.target, st.r_int
+            scale = target if target > r_int else r_int
+            if scale < 1e-9:
+                scale = 1e-9
+            delta = r_int - target
+            if (delta if delta >= 0.0 else -delta) > _RELAX_TOL * scale:
+                min_tau = tau
+        if min_tau < math.inf:
+            tick = min_tau / 4.0
+            if tick < _MIN_RELAX_TICK_NS:
+                tick = _MIN_RELAX_TICK_NS
+            self._next_relax = self.now + tick
+        else:
+            self._next_relax = math.inf
+
+    # -- time advancement --------------------------------------------------
+
+    def _advance(self, dt: float) -> None:
+        if dt <= 0.0:
+            return
+        flows = self._flows
+        for fid in self._active:
+            st = flows[fid]
+            if st.r_srv > 0.0:
+                remaining = st.remaining - st.r_srv * dt
+                st.remaining = remaining if remaining > 0.0 else 0.0
+        if self._track_utilization:
+            link_bytes = self._link_bytes
+            for dlink, users in self._link_users.items():
+                served = 0.0
+                for fid in users:
+                    served += flows[fid].r_srv
+                if served > 0.0:
+                    link_bytes[dlink] = link_bytes.get(dlink, 0.0) + served * dt
+        queues = self._queues
+        for dlink in self._monitored:
+            load = 0.0
+            for fid in self._link_users.get(dlink, ()):
+                load += flows[fid].r_int
+            depth = queues[dlink] + (load - self._capacity(dlink)) * dt
+            queues[dlink] = depth if depth > 0.0 else 0.0
+
+    def _next_departure(self) -> float:
+        flows = self._flows
+        t = math.inf
+        for fid in self._active:
+            st = flows[fid]
+            if st.r_srv > 0.0:
+                eta = self.now + st.remaining / st.r_srv
+                if eta < t:
+                    t = eta
+        return t
+
+    # -- sampling ----------------------------------------------------------
+
+    def _take_rate_sample(self) -> None:
+        row = []
+        for fid in self._order:
+            st = self._flows[fid]
+            row.append(st.r_srv * 8e9 if fid in self._active else 0.0)
+        self._rate_samples.times.append(self.now)
+        self._rate_samples.values.append(row)
+
+    def _take_queue_sample(self) -> None:
+        self._queue_samples.times.append(self.now)
+        self._queue_samples.values.append(
+            sum(self._queues[d] for d in self._monitored)
+        )
+
+    def rate_series(self) -> Tuple[List[float], List[List[float]]]:
+        """(times, rates_bps rows) in flow registration order."""
+        return self._rate_samples.times, self._rate_samples.values
+
+    def queue_series(self) -> Tuple[List[float], List[float]]:
+        """(times, summed monitored queue depth in bytes)."""
+        return self._queue_samples.times, self._queue_samples.values
+
+    def link_utilization(self, elapsed_ns: Optional[float] = None) -> Dict[DLink, float]:
+        """Time-averaged served utilization per directed link in [0, 1].
+
+        ``elapsed_ns`` defaults to the current simulation time.  Hybrid
+        mode uses this to derate packet-network link rates by the fluid
+        background load.  Utilization is measured against the link's
+        *goodput* capacity regardless of its current up/down state.
+        """
+        if not self._track_utilization:
+            raise RuntimeError(
+                "link utilization was not tracked; construct the engine "
+                "with track_link_utilization=True"
+            )
+        elapsed = self.now if elapsed_ns is None else elapsed_ns
+        if elapsed <= 0.0:
+            return {}
+        out: Dict[DLink, float] = {}
+        for dlink, served in sorted(self._link_bytes.items()):
+            u, v = dlink
+            spec = self.net.nodes[u].port_to[v].spec
+            cap = spec.rate_bps / 8e9 * GOODPUT_FRACTION
+            if cap > 0.0:
+                out[dlink] = min(1.0, served / (cap * elapsed))
+        return out
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, timeout_ns: float) -> CompletionStatus:
+        """Advance the fluid simulation until done or ``timeout_ns``."""
+        events_start = self.events_executed
+        self._arrivals.sort()
+        self._flaps.sort()
+        stop_reason = "completed"
+        while True:
+            have_arrival = self._arrival_idx < len(self._arrivals)
+            have_flap = self._flap_idx < len(self._flaps)
+            if not self._active and not have_arrival:
+                break
+            candidates = [
+                self._arrivals[self._arrival_idx][0] if have_arrival else math.inf,
+                self._next_departure(),
+                self._flaps[self._flap_idx][0] if have_flap else math.inf,
+                self._next_relax,
+                self._next_rate_sample,
+                self._next_queue_sample,
+            ]
+            t_next = min(candidates)
+            if math.isinf(t_next):
+                stop_reason = "stalled"
+                break
+            if t_next > timeout_ns:
+                self._advance(timeout_ns - self.now)
+                self.now = timeout_ns
+                stop_reason = "timeout"
+                break
+            dt = t_next - self.now
+            self._advance(dt)
+            self._relax_decay(dt)
+            self.now = t_next
+            changed: Set[int] = set()
+            fresh: Set[int] = set()
+
+            # Departures: flows fully drained as of t_next.
+            for fid in sorted(self._active):
+                st = self._flows[fid]
+                if st.remaining <= _EPS_BYTES:
+                    st.remaining = 0.0
+                    st.flow.finish_time = self.now + st.latency_ns
+                    self._active.discard(fid)
+                    # Seed the water-fill with the survivors that shared a
+                    # link with the departing flow (it is inactive now, so it
+                    # cannot seed the component itself).
+                    for dlink in st.path or ():
+                        changed |= self._link_users.get(dlink, set())
+                    changed.add(fid)
+                    self._vacate(fid)
+                    st.r_int = st.r_srv = 0.0
+                    self.events_executed += 1
+
+            # Arrivals due now.
+            while (
+                self._arrival_idx < len(self._arrivals)
+                and self._arrivals[self._arrival_idx][0] <= self.now
+            ):
+                _, fid = self._arrivals[self._arrival_idx]
+                self._arrival_idx += 1
+                st = self._flows[fid]
+                st.flow.started = True
+                self._active.add(fid)
+                self._occupy(fid)
+                changed.add(fid)
+                fresh.add(fid)
+                self.events_executed += 1
+
+            # Link flaps due now: toggle state and re-path every active flow
+            # (routing tables changed globally; flaps are rare).
+            flapped = False
+            while (
+                self._flap_idx < len(self._flaps)
+                and self._flaps[self._flap_idx][0] <= self.now
+            ):
+                _, a, b, up = self._flaps[self._flap_idx]
+                self._flap_idx += 1
+                self.net.set_link_state(a, b, up)
+                self._cap_cache.clear()
+                flapped = True
+                self.events_executed += 1
+            if flapped:
+                for fid in sorted(self._active):
+                    self._vacate(fid)
+                for fid in sorted(self._active):
+                    self._occupy(fid)
+                changed |= self._active
+
+            if changed:
+                self._recompute_targets(changed)
+                self._snap_new_flows(fresh)
+            if self.now >= self._next_relax:
+                self.events_executed += 1
+            self._snap_zero_tau()
+            self._scale_served()
+            if fresh or flapped:
+                self._commit_feasibility()
+            self._schedule_relax_tick()
+
+            if self.now >= self._next_rate_sample:
+                self._take_rate_sample()
+                self._next_rate_sample += self._rate_interval
+                self.events_executed += 1
+            if self.now >= self._next_queue_sample:
+                self._take_queue_sample()
+                self._next_queue_sample += self._queue_interval
+                self.events_executed += 1
+
+        incomplete = tuple(
+            sorted(fid for fid, st in self._flows.items() if not st.flow.completed)
+        )
+        return CompletionStatus(
+            completed=not incomplete,
+            stop_reason="completed" if not incomplete else stop_reason,
+            incomplete_flows=incomplete,
+            events_executed=self.events_executed - events_start,
+        )

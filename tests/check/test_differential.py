@@ -95,3 +95,65 @@ class TestMatrix:
         )
         with pytest.raises(DifferentialMismatch, match="fused-vs-unfused"):
             assert_matrix(SMALL, store_dir=str(tmp_path))
+
+
+class TestBackendMatrix:
+    """Packet-vs-flow divergence matrix (full run lives in the CI job)."""
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ValueError, match="no backend reference"):
+            differential.backend_divergence_matrix(["42"])
+
+    def test_every_reference_figure_includes_fig8(self):
+        assert "8" in differential.BACKEND_REFERENCE_FIGURES
+
+    def test_cell_verdict_and_render(self):
+        ok = differential.BackendDivergence(
+            figure="8", variant="hpcc", metric="jain_mean",
+            packet=0.9, flow=0.95, divergence=0.05, limit=0.12,
+        )
+        bad = differential.BackendDivergence(
+            figure="8", variant="hpcc", metric="jain_mean",
+            packet=0.9, flow=0.5, divergence=0.4, limit=0.12,
+        )
+        assert ok.within and "ok" in ok.render()
+        assert not bad.within and "FAIL" in bad.render()
+        assert bad.to_dict()["within"] is False
+
+    def test_none_convergence_renders_as_never(self):
+        cell = differential.BackendDivergence(
+            figure="8", variant="hpcc", metric="convergence_us",
+            packet=None, flow=350.0, divergence=float("inf"), limit=0.0,
+        )
+        assert "never" in cell.render() and not cell.within
+
+    def test_divergence_metrics_on_one_config(self):
+        from repro.experiments.config import with_backend
+
+        result = run_incast(with_backend(SMALL, "flow"))
+        metrics = differential._incast_divergence_metrics(result)
+        assert set(metrics) == set(differential.BACKEND_TOLERANCES)
+        assert metrics["slowdown_p50"] >= 1.0
+        assert metrics["slowdown_p99"] >= metrics["slowdown_p50"]
+        assert 0.0 < metrics["jain_mean"] <= 1.0
+
+    def test_assert_backend_matrix_raises_on_breach(self, monkeypatch):
+        bad = differential.BackendDivergence(
+            figure="8", variant="hpcc", metric="jain_mean",
+            packet=0.9, flow=0.5, divergence=0.4, limit=0.12,
+        )
+        monkeypatch.setattr(
+            differential, "backend_divergence_matrix", lambda figures=None: [bad]
+        )
+        with pytest.raises(DifferentialMismatch, match="jain_mean"):
+            differential.assert_backend_matrix()
+
+    def test_matrix_on_fig8_variant_pair(self, monkeypatch):
+        # One variant, not the whole matrix: keeps the unit suite fast
+        # while still exercising the packet+flow comparison end to end.
+        monkeypatch.setitem(
+            differential.BACKEND_REFERENCE_FIGURES, "8", ("hpcc-vai-sf",)
+        )
+        cells = differential.assert_backend_matrix(["8"])
+        assert len(cells) == len(differential.BACKEND_TOLERANCES)
+        assert all(c.within for c in cells)

@@ -13,6 +13,7 @@ from repro.core.fluid_model import (
     gbps_to_bytes_per_ns,
     initial_slope_condition,
     integrate_numerically,
+    max_min_allocation,
     per_rtt_rate,
     sampling_rate,
 )
@@ -145,3 +146,67 @@ class TestProperties:
         s0 = sampling_rate(t, c1 * gap, p)
         gaps = s1 - s0
         assert np.all(np.diff(gaps) <= 1e-12)
+
+
+class TestMaxMinAllocation:
+    """Water-filling edge cases behind the flow-level backend."""
+
+    def test_single_flow_gets_whole_link(self):
+        rates = max_min_allocation({"l": 10.0}, {0: ["l"]})
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_equal_share_tie_is_even_and_deterministic(self):
+        flow_links = {fid: ["l"] for fid in range(4)}
+        rates = max_min_allocation({"l": 12.0}, flow_links)
+        assert all(r == pytest.approx(3.0) for r in rates.values())
+        again = max_min_allocation({"l": 12.0}, dict(reversed(list(flow_links.items()))))
+        assert rates == again
+
+    def test_bottleneck_cascade_after_departure(self):
+        # Two links: A (cap 10) carries flows 0 and 1; B (cap 4) also
+        # carries flow 1.  Flow 1 is bottlenecked on B at 4, flow 0 takes
+        # the A leftovers (6).  When flow 1 departs, flow 0 cascades up to
+        # the full A capacity.
+        caps = {"A": 10.0, "B": 4.0}
+        before = max_min_allocation(caps, {0: ["A"], 1: ["A", "B"]})
+        assert before[1] == pytest.approx(4.0)
+        assert before[0] == pytest.approx(6.0)
+        after = max_min_allocation(caps, {0: ["A"]})
+        assert after[0] == pytest.approx(10.0)
+
+    def test_zero_capacity_faulted_link_freezes_its_flows(self):
+        rates = max_min_allocation(
+            {"up": 10.0, "down": 0.0},
+            {0: ["up"], 1: ["up", "down"]},
+        )
+        assert rates[1] == 0.0
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_per_flow_caps_redistribute_leftovers(self):
+        rates = max_min_allocation(
+            {"l": 12.0}, {0: ["l"], 1: ["l"], 2: ["l"]}, caps={0: 2.0}
+        )
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(5.0)
+
+    def test_capless_linkless_flow_rejected(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            max_min_allocation({}, {0: []})
+        # With a cap the flow is simply pinned at it.
+        rates = max_min_allocation({}, {0: []}, caps={0: 7.0})
+        assert rates[0] == pytest.approx(7.0)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_allocation({"l": 1.0}, {0: ["nope"]})
+
+    @given(
+        n_flows=st.integers(min_value=1, max_value=6),
+        cap=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_link_shares_sum_to_capacity(self, n_flows, cap):
+        rates = max_min_allocation({"l": cap}, {i: ["l"] for i in range(n_flows)})
+        assert sum(rates.values()) == pytest.approx(cap)
+        assert max(rates.values()) - min(rates.values()) < 1e-9 * cap
