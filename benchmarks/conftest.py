@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import profiler as obs_profiler
 from repro.sim import engine
 
 #: test node name -> {"wall_s", "events", "events_per_s"}
@@ -38,19 +39,38 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 @pytest.fixture
 def bench_once(benchmark, request):
+    """Run ``fn`` once under the benchmark with hot-path phase attribution.
+
+    Besides the wall/event totals, each record carries a ``profile``
+    section — per-phase wall seconds from a fresh :class:`PhaseProfiler`
+    enabled around the benchmarked call — so ``obs diff`` gates phase-level
+    shifts (``bench.<name>.profile.<phase>.wall_s``), not just totals.
+    The profiler is byte-transparent to simulation output (see
+    ``tests/sim/test_obs_disabled.py``), so attribution does not perturb
+    what is being measured beyond its own (phase-hook) overhead.
+    """
+
     def _run(fn, *args, **kwargs):
         events_before = engine.total_events_executed()
+        prof = obs_profiler.enable("phase")
         start = time.perf_counter()
-        result = run_once(benchmark, fn, *args, **kwargs)
-        wall = time.perf_counter() - start
+        try:
+            result = run_once(benchmark, fn, *args, **kwargs)
+        finally:
+            wall = time.perf_counter() - start
+            obs_profiler.disable()
         events = engine.total_events_executed() - events_before
-        _RESULTS.setdefault(request.node.name, {}).update(
-            {
-                "wall_s": round(wall, 4),
-                "events": events,
-                "events_per_s": round(events / wall) if wall > 0 else 0,
+        record = {
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_s": round(events / wall) if wall > 0 else 0,
+        }
+        flat = prof.flat()
+        if flat:
+            record["profile"] = {
+                name: {"wall_s": entry["wall_s"]} for name, entry in flat.items()
             }
-        )
+        _RESULTS.setdefault(request.node.name, {}).update(record)
         return result
 
     return _run
@@ -75,8 +95,9 @@ def bench_extra(request):
 
 def pytest_sessionfinish(session):
     if _RESULTS:
-        total_wall = sum(r["wall_s"] for r in _RESULTS.values())
-        total_events = sum(r["events"] for r in _RESULTS.values())
+        # Records written only via bench_extra carry no wall/event totals.
+        total_wall = sum(r.get("wall_s", 0.0) for r in _RESULTS.values())
+        total_events = sum(r.get("events", 0) for r in _RESULTS.values())
         payload = {
             "benchmarks": _RESULTS,
             "total": {

@@ -1,0 +1,86 @@
+"""Profiler overhead guard: off must be free, on must stay cheap.
+
+The hot-path profiler's contract (DESIGN.md §14) is *zero overhead when
+off*: ``Simulator.run`` dispatches once per invocation to ``_run_fast``,
+whose bytecode contains no profiler reference at all — disabled profiling
+is not "a cheap check per event", it is the unmodified event loop.  The
+first test pins that structurally; the second measures the enabled phase
+mode against the off path on a pure event-loop workload (the worst case:
+zero real work per event, so the hook cost is maximally visible) and
+records the ratio into ``BENCH_results.json`` for the regression gate.
+"""
+
+import time
+
+from repro.obs import profiler as obs_profiler
+from repro.sim import Simulator
+
+#: Names that would appear in the event loop's bytecode if any profiler
+#: logic leaked into the disabled path.
+_PROFILER_NAMES = {"obs_profiler", "PROFILER", "PHASE_HOOKS", "classify_callback"}
+
+#: Generous ceiling for phase-mode overhead on the empty-event worst case.
+#: Real simulations sit far below (events do actual work); this only trips
+#: when a change makes the per-event hooks pathologically expensive.
+MAX_PHASE_OVERHEAD_RATIO = 6.0
+
+
+def _tick_loop(n_events: int) -> int:
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
+def test_fast_path_bytecode_is_profiler_free():
+    """Profiler-off adds zero instructions to the engine fast path.
+
+    ``run`` may (and must) consult the profiler global to dispatch, but the
+    loop it dispatches to when profiling is off must not: its compiled
+    bytecode references no profiler symbol, so the disabled cost is exactly
+    one global read + one jump per ``run()`` call, never per event.
+    """
+    fast_names = set(Simulator._run_fast.__code__.co_names)
+    assert not (fast_names & _PROFILER_NAMES), (
+        f"profiler symbols leaked into the fast path: "
+        f"{sorted(fast_names & _PROFILER_NAMES)}"
+    )
+    # The twin loop is the one that pays: it must reference the hooks.
+    prof_names = set(Simulator._run_profiled.__code__.co_names)
+    assert {"push", "pop", "classify_callback"} <= prof_names
+
+
+def test_profiler_phase_mode_overhead(benchmark, bench_extra):
+    """Phase-mode hooks stay within a bounded factor of the bare loop."""
+    n = 20_000
+    _tick_loop(n)  # warm allocator/caches outside the timed region
+
+    start = time.perf_counter()
+    assert _tick_loop(n) == n
+    off_s = time.perf_counter() - start
+
+    obs_profiler.enable("phase")
+    try:
+        start = time.perf_counter()
+        assert benchmark.pedantic(_tick_loop, args=(n,), rounds=1, iterations=1) == n
+        on_s = time.perf_counter() - start
+        prof = obs_profiler.PROFILER
+        assert prof is not None and prof.flat()["engine.loop"]["count"] >= 1
+    finally:
+        obs_profiler.disable()
+
+    ratio = on_s / off_s if off_s > 0 else 1.0
+    bench_extra(
+        profiler_off_s=off_s, profiler_phase_s=on_s, profiler_overhead_ratio=ratio
+    )
+    assert ratio < MAX_PHASE_OVERHEAD_RATIO, (
+        f"phase-mode profiling costs {ratio:.1f}x the bare event loop "
+        f"(ceiling {MAX_PHASE_OVERHEAD_RATIO}x) on an empty-event workload"
+    )

@@ -25,8 +25,12 @@ from typing import Any, List, Optional
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import exporter as obs_exporter
+from ..obs import live as obs_live
+from ..obs import profiler as obs_profiler
 from ..obs import registry as obs_registry
 from ..obs import regress as obs_regress
+from ..obs import stitch as obs_stitch
 from ..obs import telemetry as obs_telemetry
 from ..obs import tracer as obs_tracer
 from ..obs.report import render_report
@@ -245,6 +249,73 @@ def build_parser() -> argparse.ArgumentParser:
             "JSON (open in Perfetto or chrome://tracing)"
         ),
     )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=obs_tracer.DEFAULT_CAPACITY,
+        metavar="N",
+        help=(
+            "tracer ring-buffer capacity for --trace-out and --trace-shards "
+            f"(oldest events are dropped beyond it; default: "
+            f"{obs_tracer.DEFAULT_CAPACITY})"
+        ),
+    )
+    parser.add_argument(
+        "--trace-shards",
+        default=None,
+        metavar="DIR",
+        help=(
+            "supervised campaigns: write one Chrome-trace shard per "
+            "completed run to DIR (drained from each worker's tracer ring) "
+            "and journal their paths; merge with 'obs stitch JOURNAL'"
+        ),
+    )
+    parser.add_argument(
+        "--profile-phases",
+        nargs="?",
+        const="phase",
+        default=None,
+        choices=("phase", "func"),
+        metavar="MODE",
+        help=(
+            "attribute simulator wall time to hot-path phases (event loop, "
+            "port serialize/propagate, CC decision, PFC, fluid relax); "
+            "'phase' uses explicit engine hooks, 'func' adds a "
+            "sys.setprofile function profiler (slower, finer).  The "
+            "attribution lands in the manifest's 'profile' section "
+            "(default MODE: phase)"
+        ),
+    )
+    parser.add_argument(
+        "--flame-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --profile-phases: also write collapsed-stack flamegraph "
+            "text (one 'a;b;c <usec>' line per stack; feed to flamegraph.pl "
+            "or speedscope)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write an OpenMetrics text snapshot of the instrumentation "
+            "registry (counters/gauges/histograms + campaign gauges) at "
+            "the end of the invocation"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live OpenMetrics on http://127.0.0.1:PORT/metrics for "
+            "the duration of the invocation (0 picks a free port)"
+        ),
+    )
     return parser
 
 
@@ -315,8 +386,71 @@ def obs_diff_main(args: "argparse.Namespace") -> int:
     return 0
 
 
+def obs_top_main(args: "argparse.Namespace") -> int:
+    """``obs top``: live dashboard over a supervised campaign's journal."""
+    journal = Path(args.journal)
+    if not journal.exists():
+        print(f"error: journal {journal} does not exist", file=sys.stderr)
+        return 2
+    try:
+        obs_live.watch(
+            journal,
+            once=args.once,
+            interval_s=args.interval,
+            clear=not args.no_clear,
+            stale_after_s=args.stale_after,
+            max_frames=args.max_frames,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def obs_export_main(args: "argparse.Namespace") -> int:
+    """``obs export``: render a telemetry manifest as OpenMetrics text."""
+    manifest = _read_json(args.manifest, "manifest")
+    if manifest is None:
+        return 2
+    families = obs_exporter.manifest_families(manifest)
+    text = obs_exporter.render(families)
+    # Self-check: refuse to emit output our own strict parser rejects.
+    try:
+        obs_exporter.parse_openmetrics(text)
+    except ValueError as exc:  # pragma: no cover - guards exporter bugs
+        print(f"error: generated exposition is invalid: {exc}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        Path(args.out).write_text(text)
+        summary = obs_exporter.export_section(families)
+        print(
+            f"[export] {summary['families']} families, "
+            f"{summary['samples']} samples -> {args.out}"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def obs_stitch_main(args: "argparse.Namespace") -> int:
+    """``obs stitch``: merge a campaign journal + trace shards into one trace."""
+    try:
+        summary = obs_stitch.write_stitched(
+            args.journal, args.out, shard_root=args.shard_root
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"[stitch] {summary['workers']} worker track(s), "
+        f"{summary['shards_embedded']} shard(s) embedded "
+        f"({summary['shards_missing']} missing) -> {args.out} "
+        "(open in Perfetto)"
+    )
+    return 0
+
+
 def obs_main(argv: List[str]) -> int:
-    """The ``repro-experiments obs`` subcommand family (report, diff)."""
+    """The ``repro-experiments obs`` family (report, diff, top, export, stitch)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments obs",
         description="Inspect observability artifacts from past invocations.",
@@ -397,9 +531,107 @@ def obs_main(argv: List[str]) -> int:
         metavar="PATH",
         help="append CURRENT's metrics as one JSON line to PATH (BENCH trajectory)",
     )
+    top = sub.add_parser(
+        "top",
+        help=(
+            "live campaign dashboard: tail a supervised campaign's journal "
+            "(read-only, from any process) showing per-worker liveness, "
+            "attempt/retry/quarantine counts, and streaming tail estimates"
+        ),
+    )
+    top.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="campaign journal written by --supervise --journal PATH",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting/CI mode)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="refresh interval in seconds (default: 0.5)",
+    )
+    top.add_argument(
+        "--stale-after",
+        type=float,
+        default=obs_live.STALE_AFTER_S,
+        metavar="S",
+        help=(
+            "mark a running worker stale when its last heartbeat is older "
+            f"than S seconds (default: {obs_live.STALE_AFTER_S})"
+        ),
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen between them",
+    )
+    top.add_argument(
+        "--max-frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N frames even if the campaign is still running",
+    )
+    exp = sub.add_parser(
+        "export",
+        help=(
+            "render a telemetry manifest's counters, campaign stats, and "
+            "supervision outcome as OpenMetrics (Prometheus) text"
+        ),
+    )
+    exp.add_argument(
+        "manifest",
+        metavar="MANIFEST",
+        help="telemetry manifest JSON file written by --telemetry",
+    )
+    exp.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the exposition to PATH instead of stdout",
+    )
+    sti = sub.add_parser(
+        "stitch",
+        help=(
+            "merge a campaign journal and its per-worker trace shards into "
+            "one Perfetto-loadable Chrome trace (one track per worker)"
+        ),
+    )
+    sti.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="campaign journal written by --supervise --journal PATH",
+    )
+    sti.add_argument(
+        "--out",
+        default="stitched_trace.json",
+        metavar="PATH",
+        help="output trace path (default: stitched_trace.json)",
+    )
+    sti.add_argument(
+        "--shard-root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory to re-root relative/moved shard paths (defaults to "
+            "the paths recorded in the journal)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.verb == "diff":
         return obs_diff_main(args)
+    if args.verb == "top":
+        return obs_top_main(args)
+    if args.verb == "export":
+        return obs_export_main(args)
+    if args.verb == "stitch":
+        return obs_stitch_main(args)
 
     pairs = []
     for path in args.manifests:
@@ -749,10 +981,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         analytics_agg = obs_analytics.enable(obs_analytics.AnalyticsConfig())
     tracer = None
     if args.trace_out is not None:
-        tracer = obs_tracer.enable()
+        tracer = obs_tracer.enable(capacity=args.trace_capacity)
     sanitizer = None
     if args.sanitize:
         sanitizer = check_invariants.enable()
+    profiler = None
+    if args.profile_phases is not None:
+        profiler = obs_profiler.enable(args.profile_phases)
+    metrics_server = None
+    metrics_port_bound: Optional[int] = None
+    metrics_registry_owned = False
+    if args.metrics_out is not None or args.metrics_port is not None:
+        if obs_registry.STATS is None:
+            obs_registry.enable()
+            metrics_registry_owned = True
+        if args.metrics_port is not None:
+            metrics_server = obs_exporter.MetricsServer(
+                port=args.metrics_port, producer=obs_exporter.render_registry
+            )
+            metrics_port_bound = metrics_server.start()
+            print(
+                "[metrics] serving OpenMetrics on "
+                f"http://127.0.0.1:{metrics_port_bound}/metrics"
+            )
     progress = None
     if collector is not None or analytics_agg is not None:
         def progress(message: str) -> None:
@@ -780,11 +1031,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             journal_path=Path(journal_path) if journal_path else None,
             resume=resume_state,
             partial_ok=args.partial_ok,
+            trace_shard_dir=Path(args.trace_shards) if args.trace_shards else None,
+            trace_capacity=args.trace_capacity,
         )
     elif args.journal is not None:
         # Unsupervised campaigns still journal the Ctrl-C case so an
         # interrupted sweep leaves a --resume-able trace behind.
         plain_journal = CampaignJournal(Path(args.journal))
+    if args.trace_shards is not None and not supervised:
+        print(
+            "warning: --trace-shards is drained by the supervisor's workers; "
+            "pass --supervise to collect shards (ignoring)",
+            file=sys.stderr,
+        )
 
     # Run the figures' simulations as one deduplicated campaign up front;
     # the figure functions then replay them from the warm caches.
@@ -882,6 +1141,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"[trace] {len(tracer)} event(s) ({tracer.dropped} dropped) -> "
             f"{args.trace_out} (open in Perfetto)"
         )
+        if tracer.dropped:
+            print(
+                f"warning: trace truncated: ring overflowed and dropped "
+                f"{tracer.dropped} event(s) (capacity {tracer.capacity}); "
+                "the oldest events are missing — raise --trace-capacity",
+                file=sys.stderr,
+            )
+    profile_section = None
+    if profiler is not None:
+        obs_profiler.disable()
+        profile_section = profiler.section()
+        if args.flame_out is not None:
+            Path(args.flame_out).write_text(profiler.collapsed())
+            print(f"[profile] flamegraph stacks -> {args.flame_out}")
+        top_phases = sorted(
+            profile_section["phases"].items(), key=lambda kv: -kv[1]["wall_s"]
+        )[:4]
+        rendered = ", ".join(
+            f"{name}={entry['wall_s']:.3f}s" for name, entry in top_phases
+        )
+        print(
+            f"[profile] phases ({profile_section['mode']}): "
+            f"{rendered or 'none recorded'}"
+        )
+    export_info = None
+    if args.metrics_out is not None or metrics_server is not None:
+        families = obs_exporter.registry_families()
+        if args.metrics_out is not None:
+            obs_exporter.write_snapshot(args.metrics_out, families)
+            print(f"[metrics] snapshot -> {args.metrics_out}")
+        export_info = obs_exporter.export_section(families)
+        export_info["metrics_out"] = args.metrics_out
+        export_info["metrics_port"] = metrics_port_bound
+    if metrics_server is not None:
+        metrics_server.stop()
     if analytics_agg is not None and collector is None:
         # No manifest to carry the section — print it so the numbers are
         # not silently dropped.
@@ -919,6 +1213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             analytics=(
                 analytics_agg.section() if analytics_agg is not None else None
             ),
+            profile=profile_section,
+            export=export_info,
         )
         errors = obs_telemetry.validate_manifest(manifest)
         if errors:
@@ -947,6 +1243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs_analytics.disable()
     if collector is not None:
         obs_telemetry.disable()
+        obs_registry.disable()
+    elif metrics_registry_owned:
         obs_registry.disable()
     return exit_code
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -40,6 +40,7 @@ import numpy as np
 from ..cc import CCEnv, make_cc, needs_red, uses_cnp
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import profiler as obs_profiler
 from ..obs import telemetry as obs_telemetry
 from ..metrics.fairness import convergence_time_ns, jain_series
 from ..metrics.fct import FlowRecord, collect_records, ideal_fct_ns
@@ -94,9 +95,28 @@ def drain_incomplete_runs() -> List[str]:
 
 
 def _phase(name: str):
-    """Telemetry phase context (no-op when telemetry is disabled)."""
+    """Telemetry phase context (no-op when telemetry is disabled).
+
+    Also mirrors the phase onto the hot-path profiler (when active) so
+    runner-level phases (``build``/``simulate``/``collect``) frame the
+    engine's finer-grained attribution in the flamegraph output.
+    """
     tel = obs_telemetry.TELEMETRY
-    return tel.phase(name) if tel is not None else nullcontext()
+    prof = obs_profiler.PHASE_HOOKS
+    tel_ctx = tel.phase(name) if tel is not None else nullcontext()
+    if prof is None:
+        return tel_ctx
+
+    @contextmanager
+    def both():
+        prof.push(f"runner.{name}")
+        try:
+            with tel_ctx:
+                yield
+        finally:
+            prof.pop()
+
+    return both()
 
 
 def _begin_sanitized_run(cfg: Any) -> None:

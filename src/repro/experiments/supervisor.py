@@ -49,7 +49,9 @@ from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import registry as obs_registry
 from ..obs import telemetry as obs_telemetry
+from ..obs import tracer as obs_tracer
 from ..sim.network import RunBudget
 from .config import IncastConfig
 from .parallel import (
@@ -190,13 +192,21 @@ class CampaignJournal:
         self._fsync = fsync
         self._fh: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
 
-    def append(self, event: str, **fields: Any) -> None:
+    def append(self, event: str, _sync: Optional[bool] = None, **fields: Any) -> None:
+        """Append one record.  ``_sync=False`` flushes without fsync — used
+        for high-rate advisory records (worker heartbeats) that a live
+        tailer wants promptly but whose loss in a crash costs nothing.
+
+        Every record carries ``ts`` (wall-clock epoch seconds) for display
+        by ``obs top``/``obs stitch``; supervision logic itself never reads
+        it back — liveness math stays on ``time.monotonic()``.
+        """
         if self._fh is None:
             return
-        record = {"event": event, **fields}
+        record = {"event": event, "ts": round(time.time(), 3), **fields}
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
-        if self._fsync:
+        if self._fsync if _sync is None else _sync:
             os.fsync(self._fh.fileno())
 
     def close(self) -> None:
@@ -305,6 +315,7 @@ def _worker_main(
     sanitize: bool,
     chaos: Any,
     heartbeat_interval_s: float,
+    trace_capacity: Optional[int] = None,
 ) -> None:
     """Supervised worker loop: receive configs, heartbeat while running.
 
@@ -318,6 +329,11 @@ def _worker_main(
     import traceback
 
     _worker_init(budget, analytics_config, sanitize)
+    if trace_capacity:
+        # Per-worker trace shard: the ring drains into each "ok" reply so
+        # the parent can persist one Chrome-trace shard per run for
+        # `obs stitch`.  Tracing is passive — results stay byte-identical.
+        obs_tracer.enable(capacity=trace_capacity)
     send_lock = threading.Lock()
 
     def send(message: Tuple[Any, ...]) -> bool:
@@ -353,7 +369,9 @@ def _worker_main(
         beater.start()
         try:
             envelope = _run_config_timed(cfg)
-            reply = ("ok", key, attempt, envelope)
+            tr = obs_tracer.TRACER
+            shard = tr.drain_chrome() if trace_capacity and tr is not None else None
+            reply = ("ok", key, attempt, envelope, shard)
         except BaseException as exc:
             reply = (
                 "err",
@@ -398,6 +416,10 @@ class SupervisorConfig:
     stall_grace_s: float = 2.0
     chaos: Any = None  # ChaosSpec-like: .inject(key, attempt) in the worker
     sleep: Callable[[float], None] = time.sleep  # injectable for tests
+    # Per-worker Chrome-trace shards (obs stitch): directory to write one
+    # shard file per successful run, and the worker-side ring capacity.
+    trace_shard_dir: Optional[Path] = None
+    trace_capacity: int = obs_tracer.DEFAULT_CAPACITY
 
     def effective_stall_timeout(self, budget: Optional[RunBudget]) -> float:
         """Max silence (no heartbeat/message) before a busy worker is killed."""
@@ -486,6 +508,7 @@ def _spawn_worker(budget: Optional[RunBudget], sup: SupervisorConfig) -> _Worker
             check_invariants.CHECKER is not None,
             sup.chaos,
             sup.heartbeat_interval_s,
+            sup.trace_capacity if sup.trace_shard_dir is not None else None,
         ),
         daemon=True,
     )
@@ -647,7 +670,22 @@ def run_supervised(
             f"(attempt {task.attempts}/{sup.policy.max_attempts})",
         )
 
-    def handle_success(task: _Task, envelope: Any) -> None:
+    def write_shard(task: _Task, envelope: Any, shard: Any) -> None:
+        if shard is None or sup.trace_shard_dir is None:
+            return
+        shard_dir = Path(sup.trace_shard_dir)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        path = shard_dir / f"shard-p{envelope.pid}-{task.key[:12]}-a{task.attempts}.json"
+        path.write_text(json.dumps(shard, sort_keys=True))
+        record(
+            "trace_shard",
+            key=task.key,
+            pid=envelope.pid,
+            path=str(path),
+            attempt=task.attempts,
+        )
+
+    def handle_success(task: _Task, envelope: Any, shard: Any = None) -> None:
         nonlocal outstanding, done_count
         result = envelope.result
         seed_result_caches(task.cfg, result)
@@ -662,10 +700,30 @@ def run_supervised(
         else:
             status = STATUS_OK
         statuses[task.key] = status
-        record("done", key=task.key, status=status, attempts=task.attempts)
+        live = getattr(result, "analytics", None)
+        done_extra: Dict[str, Any] = {}
+        if isinstance(live, dict):
+            slowdown = live.get("slowdown") or {}
+            done_extra["analytics"] = {
+                "jain": live.get("jain"),
+                "convergence_ns": live.get("convergence_ns"),
+                "p50_slowdown": slowdown.get("p50_slowdown"),
+                "p99_slowdown": slowdown.get("p99_slowdown"),
+            }
+        record(
+            "done",
+            key=task.key,
+            status=status,
+            attempts=task.attempts,
+            desc=_describe(task.cfg),
+            pid=envelope.pid,
+            wall_s=round(envelope.wall_s, 4),
+            events=envelope.events,
+            **done_extra,
+        )
+        write_shard(task, envelope, shard)
         outstanding -= 1
         done_count += 1
-        live = getattr(result, "analytics", None)
         agg = obs_analytics.ANALYTICS
         if agg is not None and live is not None:
             agg.record(
@@ -724,7 +782,9 @@ def run_supervised(
                 message = worker.conn.recv()
                 if message[0] == "ok" and task is not None and message[1] == task.key:
                     worker.task = None
-                    handle_success(task, message[3])
+                    handle_success(
+                        task, message[3], message[4] if len(message) > 4 else None
+                    )
                     task = None
                 elif message[0] == "err" and task is not None and message[1] == task.key:
                     worker.task = None
@@ -745,6 +805,28 @@ def run_supervised(
                 stats.workers_lost += 1
                 reschedule_after_loss(task, f"worker pid {worker.proc.pid} died")
 
+    def update_campaign_gauges() -> None:
+        """Campaign-level gauges for the OpenMetrics exporter (None = off)."""
+        reg = obs_registry.STATS
+        if reg is None:
+            return
+        elapsed = time.perf_counter() - start
+        rate = done_count / elapsed if elapsed > 0 else 0.0
+        reg.gauge("campaign.runs_ok").set(stats.executed)
+        reg.gauge("campaign.runs_retried").set(stats.retried)
+        reg.gauge("campaign.runs_salvaged").set(stats.salvaged)
+        reg.gauge("campaign.runs_quarantined").set(stats.quarantined)
+        reg.gauge("campaign.runs_lost").set(stats.lost)
+        reg.gauge("campaign.runs_cached").set(stats.cached)
+        reg.gauge("campaign.outstanding").set(outstanding)
+        reg.gauge("campaign.workers_alive").set(
+            sum(1 for w in workers if w.proc.is_alive())
+        )
+        reg.gauge("campaign.runs_per_s").set(round(rate, 3))
+        reg.gauge("campaign.eta_s").set(
+            round(outstanding / rate, 3) if rate > 0 else 0.0
+        )
+
     if outstanding:
         _announce(
             progress,
@@ -754,6 +836,7 @@ def run_supervised(
         )
     try:
         while outstanding > 0:
+            update_campaign_gauges()
             now = time.monotonic()
             # Dispatch every eligible task to an idle (spawning if needed)
             # worker.  Tasks in backoff stay queued.
@@ -770,7 +853,13 @@ def run_supervised(
                 worker.task = task
                 worker.last_seen = now
                 worker.dispatched_at = now
-                record("attempt", key=task.key, attempt=task.attempts, pid=worker.proc.pid)
+                record(
+                    "attempt",
+                    key=task.key,
+                    attempt=task.attempts,
+                    pid=worker.proc.pid,
+                    desc=_describe(task.cfg),
+                )
                 try:
                     worker.conn.send(("run", task.key, task.cfg, task.attempts))
                 except (OSError, ValueError):
@@ -807,10 +896,27 @@ def run_supervised(
                                         f"worker pid {message[2]} alive on "
                                         f"{_describe(worker.task.cfg)}"
                                     )
+                                reg = obs_registry.STATS
+                                if reg is not None:
+                                    reg.counter("campaign.heartbeats").inc()
+                                if worker.task is not None:
+                                    # Flushed but not fsync'd: advisory
+                                    # liveness for `obs top`, cheap to lose.
+                                    record(
+                                        "hb",
+                                        _sync=False,
+                                        key=worker.task.key,
+                                        pid=message[2],
+                                        desc=_describe(worker.task.cfg),
+                                    )
                             elif kind == "ok":
                                 task, worker.task = worker.task, None
                                 if task is not None:
-                                    handle_success(task, message[3])
+                                    handle_success(
+                                        task,
+                                        message[3],
+                                        message[4] if len(message) > 4 else None,
+                                    )
                             elif kind == "err":
                                 task, worker.task = worker.task, None
                                 if task is not None:
@@ -878,6 +984,7 @@ def run_supervised(
                     pass
 
     stats.wall_s = time.perf_counter() - start
+    update_campaign_gauges()
     record("end", statuses=statuses, wall_s=round(stats.wall_s, 3))
     if journal is not None:
         journal.close()

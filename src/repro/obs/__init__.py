@@ -17,7 +17,17 @@ attribute read on hot paths (the ``Port.fault_hook`` idiom):
   online Jain-index convergence detector, and FCT-slowdown percentiles
   updated as flows complete;
 * :mod:`repro.obs.regress` — the ``obs diff`` regression gate comparing
-  manifests/bench results against checked-in baselines.
+  manifests/bench results against checked-in baselines;
+* :mod:`repro.obs.profiler` — opt-in hot-path phase profiler attributing
+  simulator wall time to named phases (event loop, port serialize, CC
+  decision, PFC, fluid relax) with collapsed-stack flamegraph export;
+* :mod:`repro.obs.exporter` — OpenMetrics/Prometheus text exposition of
+  the registry plus campaign gauges (file snapshot or stdlib HTTP
+  endpoint);
+* :mod:`repro.obs.live` — the ``obs top`` live campaign dashboard,
+  tailing a supervised campaign's journal read-only from any process;
+* :mod:`repro.obs.stitch` — ``obs stitch``, merging per-worker trace
+  shards and the campaign journal into one Perfetto timeline.
 
 The registry, tracer, and telemetry layers are **passive**: enabling them
 never schedules events, draws random numbers, or perturbs simulation
@@ -29,20 +39,36 @@ only ``events_executed`` grows) — which is why :func:`enable_all` leaves
 it off and it must be enabled explicitly.
 """
 
-from . import analytics, registry, regress, telemetry, tracer
+from . import (
+    analytics,
+    exporter,
+    live,
+    profiler,
+    registry,
+    regress,
+    stitch,
+    telemetry,
+    tracer,
+)
+from .profiler import PhaseProfiler
 from .registry import Counter, Gauge, Histogram, Registry
 from .telemetry import TelemetryCollector, build_manifest, validate_manifest
 from .tracer import EventTracer
 
 __all__ = [
     "analytics",
+    "exporter",
+    "live",
+    "profiler",
     "registry",
     "regress",
+    "stitch",
     "tracer",
     "telemetry",
     "Counter",
     "Gauge",
     "Histogram",
+    "PhaseProfiler",
     "Registry",
     "EventTracer",
     "TelemetryCollector",

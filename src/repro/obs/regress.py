@@ -86,6 +86,21 @@ def _put(metrics: Dict[str, float], name: str, value: Any) -> None:
     metrics[name] = v
 
 
+def _put_nested(metrics: Dict[str, float], prefix: str, value: Any) -> None:
+    """Flatten scalars and dict-of-scalar subtrees into dotted metric names.
+
+    Bench records may nest structured sections (e.g. the profiler's
+    per-phase ``{"wall_s": ..., "count": ...}`` attribution); each leaf
+    scalar becomes its own gated metric so ``obs diff`` reports per-phase
+    deltas, not just record totals.  Non-numeric leaves are skipped.
+    """
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _put_nested(metrics, f"{prefix}.{_slug(str(key))}", value[key])
+    else:
+        _put(metrics, prefix, value)
+
+
 def extract_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
     """Flatten a bench-results or telemetry-manifest document to scalars.
 
@@ -103,15 +118,19 @@ def extract_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
             # Every numeric field in the record becomes a metric: besides
             # the standard wall_s/events/events_per_s triple this carries
             # benchmark-specific extras (e.g. the flow-backend bench's
-            # runs_per_s and speedup) into the regression gate.
+            # runs_per_s and speedup) into the regression gate.  Nested
+            # dict sections (the profiler's per-phase attribution) flatten
+            # to dotted leaves: bench.<name>.profile.<phase>.wall_s.
             for key, value in sorted((rec or {}).items()):
-                _put(metrics, f"bench.{_slug(name)}.{key}", value)
+                _put_nested(metrics, f"bench.{_slug(name)}.{key}", value)
         return metrics
     if doc.get("kind") == "repro-telemetry" or "events_executed" in doc:
         for key in ("wall_s", "events_executed", "events_per_s"):
             _put(metrics, key, doc.get(key))
         for name, entry in sorted((doc.get("phases") or {}).items()):
             _put(metrics, f"phase.{_slug(name)}.wall_s", (entry or {}).get("wall_s"))
+        for name, entry in sorted(((doc.get("profile") or {}).get("phases") or {}).items()):
+            _put(metrics, f"profile.{_slug(name)}.wall_s", (entry or {}).get("wall_s"))
         for run in (doc.get("analytics") or {}).get("runs") or ():
             prefix = f"analytics.{_slug(run.get('desc', '?'))}"
             _put(metrics, f"{prefix}.convergence_ns", run.get("convergence_ns"))

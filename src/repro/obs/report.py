@@ -12,7 +12,56 @@ asserts the exact output for fixture manifests.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+#: Manifest sections introduced at each schema version.  The report
+#: renders a section only when the manifest's declared version includes
+#: it — explicit dispatch, not ``dict.get`` guessing, so a v1 manifest
+#: that happens to carry an ``analytics``-shaped key is never mistaken
+#: for a v2 one and a v4 section absent from an old manifest degrades
+#: with a note instead of a silent blank.
+SECTIONS_BY_VERSION: Dict[int, Tuple[str, ...]] = {
+    1: (
+        "argv",
+        "runs",
+        "phases",
+        "campaign",
+        "store",
+        "counters",
+        "trace",
+        "heartbeats",
+    ),
+    2: ("analytics",),
+    3: ("supervisor",),
+    4: ("profile", "export"),
+}
+
+#: Versions render_report accepts (mirrors telemetry.KNOWN_SCHEMA_VERSIONS
+#: without importing it — report must render foreign manifests too).
+KNOWN_VERSIONS = tuple(sorted(SECTIONS_BY_VERSION))
+
+
+def manifest_version(manifest: Dict[str, Any]) -> int:
+    """The manifest's declared schema version (v1 when absent/bogus)."""
+    version = manifest.get("schema_version")
+    return version if isinstance(version, int) and not isinstance(version, bool) else 1
+
+
+def sections_for(version: int) -> FrozenSet[str]:
+    """Every section a manifest of ``version`` may carry (cumulative)."""
+    return frozenset(
+        name
+        for v, names in SECTIONS_BY_VERSION.items()
+        if v <= version
+        for name in names
+    )
+
+
+def manifest_section(manifest: Dict[str, Any], name: str) -> Optional[Any]:
+    """The section, or None if this manifest's version does not define it."""
+    if name not in sections_for(manifest_version(manifest)):
+        return None
+    return manifest.get(name)
 
 
 def _fmt_s(v: Any) -> str:
@@ -49,15 +98,16 @@ def render_report(
 
     rows = []
     for label, m in manifests:
-        store = m.get("store") or {}
-        campaign = m.get("campaign") or {}
+        store = manifest_section(m, "store") or {}
+        campaign = manifest_section(m, "campaign") or {}
         rows.append(
             (
                 label,
+                f"v{manifest_version(m)}",
                 _fmt_s(m.get("wall_s", 0.0)),
                 m.get("events_executed", 0),
                 _fmt_rate(m.get("events_per_s", 0.0)),
-                len(m.get("runs") or ()),
+                len(manifest_section(m, "runs") or ()),
                 campaign.get("cached", "-"),
                 campaign.get("executed", "-"),
                 campaign.get("jobs", "-"),
@@ -69,6 +119,7 @@ def render_report(
         format_table(
             (
                 "manifest",
+                "schema",
                 "wall_s",
                 "events",
                 "events/s",
@@ -84,7 +135,7 @@ def render_report(
 
     phases: Dict[str, Dict[str, float]] = {}
     for _, m in manifests:
-        for name, entry in (m.get("phases") or {}).items():
+        for name, entry in (manifest_section(m, "phases") or {}).items():
             agg = phases.setdefault(name, {"wall_s": 0.0, "count": 0})
             agg["wall_s"] += entry.get("wall_s", 0.0)
             agg["count"] += entry.get("count", 0)
@@ -100,7 +151,11 @@ def render_report(
             )
         )
 
-    runs = [(label, r) for label, m in manifests for r in (m.get("runs") or ())]
+    runs = [
+        (label, r)
+        for label, m in manifests
+        for r in (manifest_section(m, "runs") or ())
+    ]
     if runs:
         out.append(f"\n-- runs ({len(runs)})")
         out.append(
@@ -123,7 +178,7 @@ def render_report(
     # -- histograms (P² percentiles from the instrumentation registry) ----
     hist_rows = []
     for label, m in manifests:
-        histograms = (m.get("counters") or {}).get("histograms") or {}
+        histograms = (manifest_section(m, "counters") or {}).get("histograms") or {}
         for name in sorted(histograms):
             h = histograms[name]
             hist_rows.append(
@@ -150,7 +205,7 @@ def render_report(
     analytics_rows = []
     missing_analytics = []
     for label, m in manifests:
-        section = m.get("analytics")
+        section = manifest_section(m, "analytics")
         if not section:
             missing_analytics.append((label, m.get("schema_version", "?")))
             continue
@@ -198,7 +253,7 @@ def render_report(
     sup_rows = []
     quarantine_lines: List[str] = []
     for label, m in manifests:
-        section = m.get("supervisor")
+        section = manifest_section(m, "supervisor")
         if not section:
             continue
         counts = section.get("status_counts") or {}
@@ -240,8 +295,75 @@ def render_report(
         out.append(f"\n-- quarantined configs ({len(quarantine_lines)})")
         out.extend(quarantine_lines)
 
+    # -- hot-path profile (schema v4) --------------------------------------
+    profile_rows = []
+    for label, m in manifests:
+        section = manifest_section(m, "profile")
+        if not section:
+            continue
+        total_s = section.get("wall_s") or 0.0
+        prof_phases = section.get("phases") or {}
+        for name in sorted(prof_phases, key=lambda n: -prof_phases[n].get("wall_s", 0.0)):
+            entry = prof_phases[name]
+            wall_s = entry.get("wall_s", 0.0)
+            share = f"{100.0 * wall_s / total_s:.1f}%" if total_s > 0 else "-"
+            profile_rows.append(
+                (
+                    label,
+                    section.get("mode", "?"),
+                    name,
+                    f"{wall_s:.4f}",
+                    int(entry.get("count", 0)),
+                    share,
+                )
+            )
+    if profile_rows:
+        out.append(f"\n-- hot-path profile ({len(profile_rows)} phase row(s))")
+        out.append(
+            format_table(
+                ("manifest", "mode", "phase", "wall_s", "count", "share"),
+                profile_rows,
+            )
+        )
+
+    # -- metrics export (schema v4) ----------------------------------------
+    export_lines = []
+    for label, m in manifests:
+        section = manifest_section(m, "export")
+        if not section:
+            continue
+        dest = section.get("metrics_out") or (
+            f"port {section['metrics_port']}" if section.get("metrics_port") else "-"
+        )
+        export_lines.append(
+            f"  {label}: {section.get('families', 0)} families, "
+            f"{section.get('samples', 0)} samples -> {dest}"
+        )
+    if export_lines:
+        out.append(f"\n-- metrics export ({len(export_lines)} manifest(s))")
+        out.extend(export_lines)
+
+    # Truncated traces are worse than missing ones — they look complete in
+    # the viewer while silently omitting the oldest events.  Shout.
+    for label, m in manifests:
+        trace = manifest_section(m, "trace") or {}
+        dropped = trace.get("dropped", 0)
+        if not dropped:
+            counters = (manifest_section(m, "counters") or {}).get("counters") or {}
+            dropped = counters.get("tracer.ring_dropped", 0)
+        if dropped:
+            emitted = trace.get("emitted", 0)
+            capacity = trace.get("capacity", "?")
+            out.append(
+                f"\n!! trace truncated: {label} dropped {int(dropped)} of "
+                f"{max(int(emitted), int(dropped))} trace event(s) (ring capacity "
+                f"{capacity}) — oldest events are missing; re-run with a larger "
+                "--trace-capacity"
+            )
+
     failures = sum(
-        (m.get("campaign") or {}).get("failures", 0) for _, m in manifests
+        (manifest_section(m, "campaign") or {}).get("failures", 0)
+        for _, m in manifests
     )
     incomplete = sum(
         1 for _, r in runs if not r.get("completed", True)

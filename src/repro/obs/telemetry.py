@@ -28,10 +28,13 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 #: Manifest schema revisions this codebase understands.  Version 2 added
 #: the ``analytics`` section (streaming convergence/tail estimates); version
 #: 3 added the ``supervisor`` section (per-config statuses, quarantines,
-#: worker kill/loss counts from the fault-tolerant campaign supervisor).
-#: Older manifests remain valid and render with a clear "no section" note.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3)
-SCHEMA_VERSION = 3
+#: worker kill/loss counts from the fault-tolerant campaign supervisor);
+#: version 4 added the ``profile`` section (hot-path phase attribution from
+#: ``obs/profiler.py``) and the ``export`` section (what the OpenMetrics
+#: exporter published).  Older manifests remain valid; ``obs report``
+#: dispatches sections by version (see ``report.SECTIONS_BY_VERSION``).
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4)
+SCHEMA_VERSION = 4
 MANIFEST_KIND = "repro-telemetry"
 
 _SCHEMA_PATH = Path(__file__).with_name("telemetry_schema.json")
@@ -202,13 +205,17 @@ def build_manifest(
     counters: Optional[Dict[str, Any]] = None,
     trace: Optional[Any] = None,
     analytics: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
+    export: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a schema-conformant manifest dict.
 
     ``store_stats`` is a :class:`repro.experiments.store.StoreStats` (duck-
     typed), ``counters`` a :meth:`Registry.snapshot` dict, ``trace`` an
     :class:`repro.obs.tracer.EventTracer`, ``analytics`` an
-    :meth:`repro.obs.analytics.AnalyticsAggregator.section` dict.
+    :meth:`repro.obs.analytics.AnalyticsAggregator.section` dict,
+    ``profile`` a :meth:`repro.obs.profiler.PhaseProfiler.section` dict,
+    ``export`` a :func:`repro.obs.exporter.export_section` summary.
     """
     store = None
     if store_stats is not None:
@@ -246,6 +253,8 @@ def build_manifest(
         "counters": counters,
         "trace": trace_info,
         "analytics": analytics,
+        "profile": profile,
+        "export": export,
         "heartbeats": list(collector.heartbeats) if collector is not None else [],
     }
 

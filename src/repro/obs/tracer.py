@@ -32,6 +32,8 @@ import json
 from collections import deque
 from typing import Dict, List, Optional
 
+from . import registry as obs_registry
+
 #: Default ring capacity; ~65k events is a few MB and loads instantly in
 #: Perfetto.  Pass a larger capacity for long trace-everything runs.
 DEFAULT_CAPACITY = 65_536
@@ -61,6 +63,13 @@ class EventTracer:
         ring = self._ring
         if len(ring) == self.capacity:
             self.dropped += 1
+            # Overflow is a first-class signal: surface it in the registry
+            # so manifests/exports carry it and `obs report` can warn that
+            # the trace was truncated.  Off the common path — only paid
+            # once the ring is already full.
+            reg = obs_registry.STATS
+            if reg is not None:
+                reg.counter("tracer.ring_dropped").inc()
         ring.append(record)
         self.emitted += 1
 
@@ -145,6 +154,20 @@ class EventTracer:
 
     def to_chrome_json(self) -> str:
         return json.dumps(self.to_chrome(), sort_keys=True)
+
+    def drain_chrome(self) -> dict:
+        """Export as Chrome JSON, then clear the ring and its counters.
+
+        Supervised-campaign workers call this after each run to ship a
+        per-run trace shard back to the parent (``obs stitch`` merges the
+        shards); resetting ``emitted``/``dropped`` makes each shard's
+        ``otherData`` describe that shard alone.
+        """
+        out = self.to_chrome()
+        self._ring.clear()
+        self.emitted = 0
+        self.dropped = 0
+        return out
 
     def to_csv(self) -> str:
         """Retained records as deterministic CSV (args JSON-encoded)."""

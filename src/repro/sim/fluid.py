@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.fluid_model import max_min_allocation
 from ..metrics.fct import ideal_fct_ns
+from ..obs import profiler as obs_profiler
 from .flow import Flow
 from .network import CompletionStatus, Network
 from .packet import HEADER_BYTES
@@ -550,6 +551,11 @@ class FluidEngine:
         self._arrivals.sort()
         self._flaps.sort()
         stop_reason = "completed"
+        # Hoisted once per run, same idiom as the packet engine's registry
+        # hook: off costs one local None test per loop iteration.
+        prof = obs_profiler.PHASE_HOOKS
+        if prof is not None:
+            prof.push("fluid.run")
         while True:
             have_arrival = self._arrival_idx < len(self._arrivals)
             have_flap = self._flap_idx < len(self._flaps)
@@ -574,7 +580,12 @@ class FluidEngine:
                 break
             dt = t_next - self.now
             self._advance(dt)
-            self._relax_decay(dt)
+            if prof is None:
+                self._relax_decay(dt)
+            else:
+                prof.push("fluid.relax")
+                self._relax_decay(dt)
+                prof.pop()
             self.now = t_next
             changed: Set[int] = set()
             fresh: Set[int] = set()
@@ -632,7 +643,12 @@ class FluidEngine:
                 changed |= self._active
 
             if changed:
-                self._recompute_targets(changed)
+                if prof is None:
+                    self._recompute_targets(changed)
+                else:
+                    prof.push("fluid.relax")
+                    self._recompute_targets(changed)
+                    prof.pop()
                 self._snap_new_flows(fresh)
             if self.now >= self._next_relax:
                 self.events_executed += 1
@@ -651,6 +667,8 @@ class FluidEngine:
                 self._next_queue_sample += self._queue_interval
                 self.events_executed += 1
 
+        if prof is not None:
+            prof.pop()
         incomplete = tuple(
             sorted(fid for fid, st in self._flows.items() if not st.flow.completed)
         )

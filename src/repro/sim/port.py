@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..check import invariants as check_invariants
+from ..obs import profiler as obs_profiler
 from ..obs import registry as obs_registry
 from ..obs import tracer as obs_tracer
 from .engine import Simulator
@@ -276,6 +277,12 @@ class Port:
         if self.pfc_egress.is_paused(now):
             self._schedule_wake(self.pfc_egress.paused_until)
             return
+        # Past the early-outs a transmission definitely starts; everything
+        # below is serializer work.  Single fall-through exit, so one
+        # push/pop pair brackets it.
+        prof = obs_profiler.PHASE_HOOKS
+        if prof is not None:
+            prof.push("port.serialize")
         pkt, ingress = self.queue.popleft()
         size = pkt.size
         self.queue_bytes -= size
@@ -325,6 +332,8 @@ class Port:
             if reg is not None:
                 reg.counter("port.unfused_deliveries").inc()
             sim.schedule_detached(ser, self._tx_done, pkt, ingress)
+        if prof is not None:
+            prof.pop()
 
     def _tx_done(self, pkt: Packet, ingress: Optional["Port"]) -> None:
         self._tx_pending = False
@@ -371,6 +380,9 @@ class Port:
 
     def apply_pause(self, pkt: Packet) -> None:
         """Apply a received PFC frame to this (egress) port."""
+        prof = obs_profiler.PHASE_HOOKS
+        if prof is not None:
+            prof.push("pfc")
         if pkt.kind == PAUSE:
             now = self.sim.now()
             self.pfc_egress.pause(now, pkt.pause_duration)
@@ -393,6 +405,8 @@ class Port:
             if reg is not None:
                 reg.counter("pfc.resumes_applied").inc()
             self.try_drain()
+        if prof is not None:
+            prof.pop()
 
     # -- introspection -------------------------------------------------------
 

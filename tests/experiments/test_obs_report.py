@@ -8,7 +8,12 @@ import pytest
 from repro.experiments.cli import main, obs_main
 from repro.experiments.runner import clear_caches
 from repro.experiments.store import set_store
-from repro.obs.report import render_report
+from repro.obs.report import (
+    manifest_section,
+    manifest_version,
+    render_report,
+    sections_for,
+)
 from repro.obs.telemetry import validate_manifest
 
 DATA = Path(__file__).parent / "data"
@@ -19,23 +24,65 @@ def _load(name):
 
 
 class TestRenderReport:
+    # One fixture manifest per schema version the report must keep reading.
+    FIXTURES = (
+        "manifest_serial.json",  # v1, serial run
+        "manifest_campaign.json",  # v1, campaign + store + truncated trace
+        "manifest_analytics.json",  # v2, live analytics
+        "manifest_supervisor.json",  # v3, supervised campaign
+        "manifest_profile.json",  # v4, profiler + exporter sections
+    )
+
     def test_fixture_manifests_are_schema_valid(self):
-        for name in (
-            "manifest_serial.json",
-            "manifest_campaign.json",
-            "manifest_analytics.json",
-        ):
-            assert validate_manifest(_load(name)) == []
+        for name in self.FIXTURES:
+            assert validate_manifest(_load(name)) == [], name
 
     def test_report_matches_golden(self):
-        pairs = [
-            ("manifest_serial.json", _load("manifest_serial.json")),
-            ("manifest_campaign.json", _load("manifest_campaign.json")),
-            ("manifest_analytics.json", _load("manifest_analytics.json")),
-        ]
+        pairs = [(name, _load(name)) for name in self.FIXTURES]
         text = render_report(pairs, _load("bench_fixture.json"))
         golden = (DATA / "report_golden.txt").read_text()
         assert text + "\n" == golden
+
+    def test_version_dispatch_is_cumulative(self):
+        assert sections_for(1) < sections_for(2) < sections_for(3) < sections_for(4)
+        assert "analytics" not in sections_for(1)
+        assert "supervisor" in sections_for(3)
+        assert {"profile", "export"} <= sections_for(4)
+        # Unknown future versions degrade to everything we know how to read.
+        assert sections_for(99) == sections_for(4)
+
+    def test_manifest_version_defaults_and_rejects_junk(self):
+        assert manifest_version({"schema_version": 3}) == 3
+        assert manifest_version({}) == 1  # pre-versioned manifests are v1
+        assert manifest_version({"schema_version": True}) == 1
+        assert manifest_version({"schema_version": "4"}) == 1
+
+    def test_sections_beyond_declared_version_are_ignored(self):
+        # A v1 manifest carrying an analytics-shaped key must NOT render
+        # the analytics section: the declared version gates dispatch.
+        doc = _load("manifest_serial.json")
+        doc["analytics"] = _load("manifest_analytics.json")["analytics"]
+        assert manifest_section(doc, "analytics") is None
+        text = render_report([("v1.json", doc)])
+        assert "-- live analytics" not in text
+        assert "no live-analytics section in v1.json" in text
+
+    def test_each_version_renders_its_own_sections(self):
+        for name, marker in (
+            ("manifest_analytics.json", "-- live analytics"),
+            ("manifest_supervisor.json", "-- supervision"),
+            ("manifest_profile.json", "-- hot-path profile"),
+            ("manifest_profile.json", "-- metrics export"),
+        ):
+            assert marker in render_report([(name, _load(name))]), (name, marker)
+
+    def test_truncated_trace_warns_loudly(self):
+        # manifest_campaign.json records 120 ring-dropped trace events.
+        text = render_report([("camp.json", _load("manifest_campaign.json"))])
+        assert "!! trace truncated: camp.json dropped 120 of 65656" in text
+        assert "--trace-capacity" in text
+        clean = render_report([("ok.json", _load("manifest_profile.json"))])
+        assert "trace truncated" not in clean
 
     def test_pre_v2_manifests_degrade_with_note(self):
         # PR 3 (schema v1) manifests have no analytics section: the report

@@ -544,3 +544,140 @@ class TestSalvageEdgeCases:
         ((_, result),) = successes
         assert result != "stale physics from old code"
         assert result.flows  # a real, fresh simulation
+
+
+# ---------------------------------------------------------------------------
+# Journal observability: timestamps, heartbeats, shards, analytics enrichment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _AnalyticsResult:
+    """Result double exposing the live-analytics attribute workers ship."""
+
+    value: str
+    analytics: dict
+
+
+@dataclass(frozen=True)
+class AnalyticsCfg(_FakeCfg):
+    def run_self(self):
+        return _AnalyticsResult(
+            value=self.tag,
+            analytics={
+                "jain": 0.97,
+                "convergence_ns": 1_000.0,
+                "slowdown": {"p50_slowdown": 1.2, "p99_slowdown": 3.4},
+            },
+        )
+
+
+def _journal_records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestJournalObservability:
+    def test_every_record_carries_wall_clock_ts(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        cfgs = [GoodCfg(tag=t, marker_dir=str(tmp_path)) for t in "ab"]
+        run_supervised(cfgs, jobs=2, sup=SupervisorConfig(journal_path=journal))
+        records = _journal_records(journal)
+        assert {r["event"] for r in records} >= {"campaign", "attempt", "done", "end"}
+        for rec in records:
+            assert isinstance(rec["ts"], float), rec
+
+    def test_heartbeats_are_journaled_unfsynced(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        cfg = SlowCfg(tag="s", seconds=0.4, marker_dir=str(tmp_path))
+        out = run_supervised(
+            [cfg],
+            jobs=1,
+            sup=SupervisorConfig(
+                journal_path=journal, heartbeat_interval_s=0.05
+            ),
+        )
+        assert out.statuses[cfg.cache_key()] == STATUS_OK
+        beats = [r for r in _journal_records(journal) if r["event"] == "hb"]
+        assert beats, "no hb records reached the journal"
+        for hb in beats:
+            assert hb["key"] == cfg.cache_key()
+            assert hb["desc"] == "SlowCfg-s"
+            assert isinstance(hb["pid"], int)
+
+    def test_trace_shards_written_and_journaled(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        shard_dir = tmp_path / "shards"
+        cfgs = [GoodCfg(tag=t, marker_dir=str(tmp_path)) for t in "ab"]
+        run_supervised(
+            cfgs,
+            jobs=2,
+            sup=SupervisorConfig(
+                journal_path=journal, trace_shard_dir=shard_dir
+            ),
+        )
+        shard_records = [
+            r for r in _journal_records(journal) if r["event"] == "trace_shard"
+        ]
+        assert len(shard_records) == 2
+        for rec in shard_records:
+            path = Path(rec["path"])
+            assert path.parent == shard_dir
+            doc = json.loads(path.read_text())
+            assert "traceEvents" in doc and "otherData" in doc
+
+    def test_no_shards_without_trace_dir(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        run_supervised(
+            [GoodCfg(marker_dir=str(tmp_path))],
+            jobs=1,
+            sup=SupervisorConfig(journal_path=journal),
+        )
+        events = {r["event"] for r in _journal_records(journal)}
+        assert "trace_shard" not in events
+
+    def test_done_records_carry_live_analytics(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        cfg = AnalyticsCfg(marker_dir=str(tmp_path))
+        run_supervised([cfg], jobs=1, sup=SupervisorConfig(journal_path=journal))
+        (done,) = [r for r in _journal_records(journal) if r["event"] == "done"]
+        assert done["analytics"] == {
+            "jain": 0.97,
+            "convergence_ns": 1_000.0,
+            "p50_slowdown": 1.2,
+            "p99_slowdown": 3.4,
+        }
+
+
+class TestClockOddities:
+    def test_stall_detection_survives_wall_clock_step_backwards(
+        self, tmp_path, monkeypatch
+    ):
+        """Journal ``ts`` is the only consumer of ``time.time()``; liveness
+        math is all ``time.monotonic()``.  A wall clock stepping *backwards*
+        mid-campaign (NTP correction) must not trigger spurious stall kills
+        or retries."""
+        state = {"now": 1_000_000.0}
+
+        def backwards_clock():
+            state["now"] -= 5.0
+            return state["now"]
+
+        monkeypatch.setattr(time, "time", backwards_clock)
+        journal = tmp_path / "j.jsonl"
+        cfg = SlowCfg(tag="s", seconds=0.3, marker_dir=str(tmp_path))
+        out = run_supervised(
+            [cfg],
+            jobs=1,
+            sup=SupervisorConfig(
+                journal_path=journal,
+                heartbeat_interval_s=0.05,
+                stall_timeout_s=5.0,
+            ),
+        )
+        assert out.statuses[cfg.cache_key()] == STATUS_OK
+        records = _journal_records(journal)
+        events = [r["event"] for r in records]
+        assert "reschedule" not in events and "quarantine" not in events
+        # Proof the broken clock was live: journal timestamps regress.
+        ts = [r["ts"] for r in records]
+        assert any(b < a for a, b in zip(ts, ts[1:]))

@@ -1,0 +1,56 @@
+"""Shared fixtures for the observability-plane tests."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.store import config_key, set_store
+
+
+@dataclass(frozen=True)
+class TopGoodCfg:
+    """Minimal picklable config for supervised-campaign fixtures."""
+
+    tag: str = "x"
+
+    def cache_key(self) -> str:
+        return config_key(self)
+
+    def describe(self) -> str:
+        return f"TopGoodCfg-{self.tag}"
+
+    def run_self(self):
+        return {"value": self.tag}
+
+
+@pytest.fixture
+def supervised_journal(tmp_path):
+    """A journal (+ worker pids) from a real 2-worker supervised campaign."""
+    from repro.experiments.parallel import run_campaign
+    from repro.experiments.supervisor import SupervisorConfig
+
+    runner.clear_caches()
+    set_store(None)
+    journal = tmp_path / "camp.jsonl"
+    configs = [TopGoodCfg(tag=str(i)) for i in range(3)]
+    try:
+        outcome = run_campaign(
+            configs,
+            jobs=2,
+            supervisor=SupervisorConfig(journal_path=journal),
+        )
+    finally:
+        runner.clear_caches()
+        set_store(None)
+    assert len(outcome.results) == 3
+    pids = sorted(
+        {
+            rec.get("pid")
+            for rec in map(json.loads, journal.read_text().splitlines())
+            if rec.get("event") == "attempt"
+        }
+    )
+    assert len(pids) == 2
+    return journal, pids

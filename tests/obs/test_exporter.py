@@ -1,0 +1,134 @@
+"""Unit tests for the OpenMetrics exporter (repro.obs.exporter)."""
+
+import urllib.request
+
+import pytest
+
+from repro.obs import exporter, registry
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    yield
+    registry.disable()
+
+
+def _sample_registry():
+    reg = registry.enable()
+    reg.counter("engine.events_executed").inc(42)
+    reg.gauge("campaign.workers_alive").set(3)
+    hist = reg.histogram("queue.depth_bytes")
+    for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+        hist.observe(v)
+    return reg
+
+
+class TestRendering:
+    def test_counter_gets_total_suffix(self):
+        _sample_registry()
+        text = exporter.render_registry()
+        assert "repro_engine_events_executed_total 42.0" in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauge_renders_plain(self):
+        _sample_registry()
+        assert "repro_campaign_workers_alive 3" in exporter.render_registry()
+
+    def test_histogram_renders_as_summary(self):
+        _sample_registry()
+        text = exporter.render_registry()
+        assert 'repro_queue_depth_bytes{quantile="0.5"}' in text
+        assert "repro_queue_depth_bytes_count 5" in text
+        assert "repro_queue_depth_bytes_sum 110.0" in text
+
+    def test_metric_name_sanitization(self):
+        assert exporter.metric_name("cc.hpcc-vai.rate!") == "repro_cc_hpcc_vai_rate_"
+
+    def test_round_trip_through_strict_parser(self):
+        _sample_registry()
+        families = exporter.parse_openmetrics(exporter.render_registry())
+        assert families["repro_engine_events_executed"]["type"] == "counter"
+        assert families["repro_queue_depth_bytes"]["type"] == "summary"
+
+
+class TestParserStrictness:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            exporter.parse_openmetrics("# TYPE repro_x counter\nrepro_x_total 1.0\n")
+
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ValueError):
+            exporter.parse_openmetrics("repro_x_total 1.0\n# EOF\n")
+
+
+class TestManifestFamilies:
+    def test_campaign_and_supervisor_gauges(self):
+        manifest = {
+            "schema_version": 4,
+            "kind": "repro-telemetry",
+            "wall_s": 2.0,
+            "events_executed": 1000,
+            "events_per_s": 500.0,
+            "campaign": {
+                "requested": 4,
+                "unique": 4,
+                "cached": 1,
+                "executed": 3,
+                "jobs": 2,
+                "wall_s": 1.5,
+                "failures": 0,
+            },
+            "supervisor": {"status_counts": {"ok": 3, "retried": 1}},
+            "counters": {
+                "counters": {"engine.events_executed": 1000},
+                "gauges": {},
+                "histograms": {},
+            },
+        }
+        text = exporter.render(exporter.manifest_families(manifest))
+        families = exporter.parse_openmetrics(text)
+        assert "repro_campaign_executed" in families
+        assert 'status="ok"' in text and 'status="retried"' in text
+        assert "repro_engine_events_executed" in families
+
+    def test_export_section_counts(self):
+        _sample_registry()
+        families = exporter.registry_families()
+        section = exporter.export_section(families)
+        assert section["families"] == 3
+        # histogram contributes quantiles + count + sum
+        assert section["samples"] == 1 + 1 + 5
+
+
+class TestSnapshotAndServer:
+    def test_write_snapshot_round_trips(self, tmp_path):
+        _sample_registry()
+        path = tmp_path / "metrics.prom"
+        exporter.write_snapshot(path, exporter.registry_families())
+        families = exporter.load_snapshot(path)
+        assert "repro_engine_events_executed" in families
+
+    def test_http_endpoint_serves_current_registry(self):
+        reg = _sample_registry()
+        server = exporter.MetricsServer(port=0)
+        port = server.start()
+        try:
+            reg.counter("engine.events_executed").inc(8)
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ).read().decode()
+        finally:
+            server.stop()
+        assert "repro_engine_events_executed_total 50.0" in body
+        exporter.parse_openmetrics(body)
+
+    def test_endpoint_with_registry_off_is_valid_empty(self):
+        server = exporter.MetricsServer(port=0)
+        port = server.start()
+        try:
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ).read().decode()
+        finally:
+            server.stop()
+        assert exporter.parse_openmetrics(body) == {}

@@ -1,0 +1,181 @@
+"""Tests for cross-worker trace stitching (repro.obs.stitch)."""
+
+import json
+
+import pytest
+
+from repro.obs import stitch
+
+
+def _write_journal(path, records):
+    path.write_text(
+        "".join(json.dumps(rec) + "\n" for rec in records)
+    )
+
+
+def _shard(path, events):
+    path.write_text(json.dumps({"traceEvents": events}))
+
+
+def _basic_records(shard_path=None):
+    records = [
+        {"event": "campaign", "ts": 100.0, "jobs": 2, "requested": 2, "unique": 2},
+        {"event": "attempt", "ts": 100.5, "key": "aaa", "attempt": 1, "pid": 11,
+         "desc": "run-a"},
+        {"event": "attempt", "ts": 100.6, "key": "bbb", "attempt": 1, "pid": 12,
+         "desc": "run-b"},
+        {"event": "hb", "ts": 101.0, "key": "aaa", "pid": 11, "desc": "run-a"},
+        {"event": "done", "ts": 102.5, "key": "aaa", "status": "ok", "pid": 11,
+         "wall_s": 2.0},
+        {"event": "done", "ts": 103.0, "key": "bbb", "status": "ok", "pid": 12,
+         "wall_s": 2.4},
+    ]
+    if shard_path is not None:
+        records.insert(
+            5,
+            {"event": "trace_shard", "ts": 102.6, "key": "aaa", "pid": 11,
+             "path": str(shard_path), "attempt": 1},
+        )
+    records.append({"event": "end", "ts": 103.5, "statuses": {}})
+    return records
+
+
+class TestStitchJournal:
+    def test_one_track_per_worker_plus_campaign(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records())
+        trace = stitch.stitch_journal(journal)
+        events = trace["traceEvents"]
+        pids = {ev["pid"] for ev in events}
+        assert pids == {stitch.CAMPAIGN_PID, 11, 12}
+        names = {
+            ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert names == {"campaign", "worker 11", "worker 12"}
+        assert trace["otherData"]["workers"] == 2
+
+    def test_run_spans_carry_status_and_wall_window(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records())
+        spans = [
+            ev
+            for ev in stitch.stitch_journal(journal)["traceEvents"]
+            if ev["ph"] == "X" and ev.get("cat") == "run"
+        ]
+        by_key = {ev["args"]["key"]: ev for ev in spans}
+        assert by_key["aaa"]["name"] == "run-a [ok]"
+        # attempt at 100.5s, done at 102.5s, t0 = 100.0 -> [0.5s, 2.5s] in us
+        assert by_key["aaa"]["ts"] == pytest.approx(0.5e6)
+        assert by_key["aaa"]["dur"] == pytest.approx(2.0e6)
+
+    def test_failure_reschedule_and_lost_close_spans(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        _write_journal(
+            journal,
+            [
+                {"event": "campaign", "ts": 10.0},
+                {"event": "attempt", "ts": 10.1, "key": "k1", "attempt": 1,
+                 "pid": 5, "desc": "d1"},
+                {"event": "fail", "ts": 10.5, "key": "k1", "error": "OSError: x",
+                 "classification": "transient", "attempt": 1},
+                {"event": "attempt", "ts": 10.6, "key": "k2", "attempt": 1,
+                 "pid": 5, "desc": "d2"},
+                {"event": "reschedule", "ts": 11.0, "key": "k2",
+                 "reason": "worker hung", "attempt": 1},
+                {"event": "attempt", "ts": 11.1, "key": "k3", "attempt": 3,
+                 "pid": 5, "desc": "d3"},
+                {"event": "lost", "ts": 11.5, "key": "k3", "error": "gone",
+                 "attempts": 3},
+                {"event": "quarantine", "ts": 11.6, "key": "k4", "desc": "d4"},
+                {"event": "end", "ts": 12.0},
+            ],
+        )
+        events = stitch.stitch_journal(journal)["traceEvents"]
+        statuses = {
+            ev["args"]["key"]: ev["args"]["status"]
+            for ev in events
+            if ev["ph"] == "X" and ev.get("cat") == "run"
+        }
+        assert statuses == {"k1": "fail", "k2": "killed", "k3": "lost"}
+        instants = {ev["name"] for ev in events if ev["ph"] == "i"}
+        assert "lost k3" in instants and "quarantine d4" in instants
+
+    def test_shard_events_rescaled_into_run_window(self, tmp_path):
+        shard_path = tmp_path / "shard.json"
+        _shard(
+            shard_path,
+            [
+                {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+                 "args": {"name": "sim"}},
+                {"ph": "X", "name": "pkt", "ts": 0.0, "dur": 500.0, "pid": 0,
+                 "tid": 0},
+                {"ph": "i", "name": "mark", "ts": 1000.0, "pid": 0, "tid": 1,
+                 "s": "t"},
+            ],
+        )
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records(shard_path))
+        trace = stitch.stitch_journal(journal)
+        assert trace["otherData"]["shards_embedded"] == 1
+        embedded = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev.get("name") in ("pkt", "mark")
+        ]
+        by_name = {ev["name"]: ev for ev in embedded}
+        # Shard extent is 1000 virtual-us mapped onto the 2.0e6-us run
+        # window starting at 0.5e6: scale 2000x.
+        assert by_name["pkt"]["pid"] == 11
+        assert by_name["pkt"]["tid"] == stitch.SHARD_TID_BASE
+        assert by_name["pkt"]["ts"] == pytest.approx(0.5e6)
+        assert by_name["pkt"]["dur"] == pytest.approx(1.0e6)
+        assert by_name["mark"]["ts"] == pytest.approx(2.5e6)
+        lanes = {
+            ev["args"]["name"]
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name" and ev["pid"] == 11
+        }
+        assert "sim lane 0" in lanes and "sim lane 1" in lanes
+
+    def test_missing_shard_degrades_to_journal_span(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records(tmp_path / "nope.json"))
+        trace = stitch.stitch_journal(journal)
+        assert trace["otherData"]["shards_missing"] == 1
+        assert trace["otherData"]["shards_embedded"] == 0
+
+    def test_shard_root_reroots_moved_shards(self, tmp_path):
+        original = tmp_path / "old" / "shard.json"
+        original.parent.mkdir()
+        moved_dir = tmp_path / "new"
+        moved_dir.mkdir()
+        _shard(
+            moved_dir / "shard.json",
+            [{"ph": "X", "name": "pkt", "ts": 0.0, "dur": 10.0, "pid": 0, "tid": 0}],
+        )
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records(original))  # stale path
+        trace = stitch.stitch_journal(journal, shard_root=moved_dir)
+        assert trace["otherData"]["shards_embedded"] == 1
+
+    def test_empty_journal_raises(self, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("not json\n")
+        with pytest.raises(ValueError):
+            stitch.stitch_journal(journal)
+
+
+class TestWriteStitched:
+    def test_output_is_loadable_chrome_trace(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        _write_journal(journal, _basic_records())
+        out = tmp_path / "stitched.json"
+        summary = stitch.write_stitched(journal, out)
+        assert summary["workers"] == 2
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        for ev in doc["traceEvents"]:
+            assert "ph" in ev and "pid" in ev

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import tracer
+from repro.obs import registry, tracer
 from repro.obs.tracer import EventTracer
 
 
@@ -29,6 +29,46 @@ class TestRingBuffer:
         tr.clear()
         assert len(tr) == 0
         assert tr.emitted == 1
+
+
+class TestRingOverflowCounter:
+    """Regression: ring overflow must surface as a registry counter so
+    manifests carry it and ``obs report`` can warn about truncation."""
+
+    @pytest.fixture(autouse=True)
+    def _registry_off(self):
+        yield
+        registry.disable()
+
+    def test_overflow_increments_registry_counter(self):
+        reg = registry.enable()
+        tr = EventTracer(capacity=2)
+        for i in range(5):
+            tr.instant(f"e{i}", float(i))
+        assert tr.dropped == 3
+        assert reg.counter("tracer.ring_dropped").value == 3
+
+    def test_no_counter_created_before_overflow(self):
+        reg = registry.enable()
+        tr = EventTracer(capacity=8)
+        tr.instant("a", 0.0)
+        assert "tracer.ring_dropped" not in reg.snapshot()["counters"]
+
+    def test_overflow_without_registry_is_silent(self):
+        registry.disable()
+        tr = EventTracer(capacity=1)
+        tr.instant("a", 0.0)
+        tr.instant("b", 1.0)  # must not raise with STATS unset
+        assert tr.dropped == 1
+
+    def test_drain_resets_per_shard_loss_accounting(self):
+        tr = EventTracer(capacity=1)
+        tr.instant("a", 0.0)
+        tr.instant("b", 1.0)
+        shard = tr.drain_chrome()
+        assert shard["otherData"] == {"emitted": 2, "dropped": 1}
+        tr.instant("c", 2.0)
+        assert tr.to_chrome()["otherData"] == {"emitted": 1, "dropped": 0}
 
 
 class TestChromeExport:

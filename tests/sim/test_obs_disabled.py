@@ -11,7 +11,7 @@ Two guarantees, same mechanism as ``test_port_fusion.py``:
 from repro import obs
 from repro.experiments.config import scaled_incast
 from repro.experiments.runner import run_incast
-from repro.obs import analytics
+from repro.obs import analytics, exporter, profiler
 
 
 def _signature(result):
@@ -76,6 +76,53 @@ def test_analytics_enabled_run_identical_except_sampler_events():
     assert summary["flows_completed"] == len(live_run.flows)
     assert summary["slowdown"]["count"] == len(live_run.flows)
     assert bare.analytics is None
+
+
+def test_profiler_output_byte_identical_both_modes():
+    # The profiler only *times* callbacks — push/pop around dispatch, a
+    # sys.setprofile hook in func mode — so flow times, series, and event
+    # counts must not move by a byte in either mode.
+    cfg = scaled_incast("hpcc-vai-sf", 8)
+    bare = run_incast(cfg)
+    for mode in ("phase", "func"):
+        with profiler.capture(mode) as prof:
+            profiled = run_incast(cfg)
+        assert profiled.all_completed
+        assert _signature(bare) == _signature(profiled)
+        # The run really executed under the profiler (no silent cache hit).
+        assert prof.total_s() > 0.0
+        if mode == "phase":
+            assert prof.flat()["cc.decision"]["count"] > 0
+
+
+def test_full_observability_plane_output_byte_identical():
+    # Everything the PR adds, on at once: registry + tracer + telemetry
+    # (enable_all), phase profiler, and a live OpenMetrics HTTP endpoint
+    # serving the registry mid-run.  Still byte-identical — the whole plane
+    # is read-only with respect to simulation state.
+    import urllib.request
+
+    cfg = scaled_incast("swift", 8)
+    bare = run_incast(cfg)
+    obs.enable_all(trace_capacity=1_000_000)
+    server = exporter.MetricsServer(port=0)
+    port = server.start()
+    try:
+        with profiler.capture("phase"):
+            instrumented = run_incast(cfg)
+        body = urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=5
+        ).read().decode()
+    finally:
+        server.stop()
+        obs.disable_all()
+    assert instrumented.all_completed
+    assert _signature(bare) == _signature(instrumented)
+    families = exporter.parse_openmetrics(body)
+    assert "repro_engine_events_executed" in families
+    # Journal live-tailing is read-only by construction (it opens the
+    # journal file, never the simulator); proven cross-process in
+    # tests/obs/test_live.py.
 
 
 def test_instrumented_run_actually_recorded():
