@@ -48,6 +48,10 @@ Invariant catalog (names appear in violation messages and summaries):
                           ``interval_acks`` acknowledgements
 ``switch-forward``        a switch only forwards out of its own ports, and
                           never routes control frames
+``flightrec-conserve``    the flight recorder's six-way FCT decomposition
+                          sums to the flow's FCT within 1 ns, and the flow
+                          it explains really acknowledged every byte the
+                          shadow high-water mark says was sent
 ========================  ===================================================
 
 This module is stdlib-only on purpose: the sim core imports it, so it must
@@ -345,6 +349,43 @@ class InvariantChecker:
                 "gbn-sequence",
                 f"flow {flow.flow_id}: receiver cumulative edge "
                 f"{state.received} beyond flow size {flow.size}",
+            )
+
+    # -- flight recorder (cross-layer validation) ----------------------------
+
+    def on_flow_decomposition(
+        self,
+        state: Any,
+        *,
+        fct_ns: float,
+        components_ns: float,
+        residual_ns: float,
+        tolerance_ns: float = 1.0,
+    ) -> None:
+        """Flight-recorder hook: a completed flow's FCT was decomposed.
+
+        Called when both the sanitizer and :mod:`repro.obs.flightrec` are
+        enabled, so the recorder's per-flow accounting is validated against
+        this checker's *independent* shadow state: the decomposition must
+        conserve (components sum to the FCT within ``tolerance_ns``) and
+        the completed flow must be consistent with the go-back-N high-water
+        mark — every acknowledged byte was actually sent.
+        """
+        self._count("flightrec-conserve")
+        flow = state.flow
+        if residual_ns > tolerance_ns or residual_ns < -tolerance_ns:
+            self._fail(
+                "flightrec-conserve",
+                f"flow {flow.flow_id}: decomposition sums to "
+                f"{components_ns!r}ns but FCT is {fct_ns!r}ns "
+                f"(residual {residual_ns!r}ns exceeds {tolerance_ns}ns)",
+            )
+        hw = self._sent_hw.get(state)
+        if hw is not None and hw < flow.size:
+            self._fail(
+                "flightrec-conserve",
+                f"flow {flow.flow_id}: decomposed as complete but only "
+                f"{hw} of {flow.size} bytes were ever sent",
             )
 
     # -- VAI / SF (the paper's mechanisms) -----------------------------------

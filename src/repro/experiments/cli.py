@@ -26,6 +26,7 @@ from typing import Any, List, Optional
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
 from ..obs import exporter as obs_exporter
+from ..obs import flightrec as obs_flightrec
 from ..obs import live as obs_live
 from ..obs import profiler as obs_profiler
 from ..obs import registry as obs_registry
@@ -33,7 +34,7 @@ from ..obs import regress as obs_regress
 from ..obs import stitch as obs_stitch
 from ..obs import telemetry as obs_telemetry
 from ..obs import tracer as obs_tracer
-from ..obs.report import render_report
+from ..obs.report import render_flows, render_report, render_why
 from ..sim import engine
 from ..sim.network import RunBudget
 from .extensions import ALL_EXTENSIONS
@@ -238,6 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
             "FIFO, PFC-losslessness, go-back-N, and VAI/SF invariants; a "
             "violation aborts the run with an InvariantViolation naming "
             "the replayable config"
+        ),
+    )
+    parser.add_argument(
+        "--flightrec",
+        action="store_true",
+        help=(
+            "attach the flow flight recorder to every packet-backend run: "
+            "per-flow FCT decomposition (queueing / serialization / "
+            "propagation / PFC pause / retx recovery / CC throttle, "
+            "conservation-checked to 1 ns), per-link utilization + queue "
+            "series, and a convergence timeline; lands in the manifest's "
+            "'flightrec' section — inspect with 'obs why FLOW' and "
+            "'obs flows --top-tail'"
         ),
     )
     parser.add_argument(
@@ -449,8 +463,73 @@ def obs_stitch_main(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _read_manifest(path: str) -> Optional[Any]:
+    """Load + schema-warn a telemetry manifest, or None on read failure."""
+    try:
+        manifest = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read manifest {path}: {exc}", file=sys.stderr)
+        return None
+    errors = obs_telemetry.validate_manifest(manifest)
+    if errors:
+        print(f"warning: {path} fails schema validation:", file=sys.stderr)
+        for err in errors[:5]:
+            print(f"  - {err}", file=sys.stderr)
+    return manifest
+
+
+def obs_why_main(args: "argparse.Namespace") -> int:
+    """``obs why``: decompose one flow's FCT from a manifest."""
+    manifest = _read_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    text = render_why(manifest, args.flow, run_index=args.run)
+    if text is None:
+        from ..obs.report import flightrec_runs
+
+        runs = flightrec_runs(manifest)
+        if not runs:
+            print(
+                "error: manifest has no flightrec section — re-run with "
+                "--flightrec to record decompositions",
+                file=sys.stderr,
+            )
+        else:
+            truncated = sum(r.get("flows_truncated", 0) for r in runs)
+            hint = (
+                f" ({truncated} flow(s) were truncated from the section)"
+                if truncated
+                else ""
+            )
+            print(
+                f"error: flow {args.flow} not found in any recorded "
+                f"decomposition{hint}",
+                file=sys.stderr,
+            )
+        return 1
+    print(text)
+    return 0
+
+
+def obs_flows_main(args: "argparse.Namespace") -> int:
+    """``obs flows``: rank the recorded tail flows from a manifest."""
+    manifest = _read_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    text = render_flows(manifest, top=args.top_tail)
+    if text is None:
+        print(
+            "error: manifest has no flightrec section — re-run with "
+            "--flightrec to record decompositions",
+            file=sys.stderr,
+        )
+        return 1
+    print(text)
+    return 0
+
+
 def obs_main(argv: List[str]) -> int:
-    """The ``repro-experiments obs`` family (report, diff, top, export, stitch)."""
+    """``repro-experiments obs`` (report, diff, top, export, stitch, why, flows)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments obs",
         description="Inspect observability artifacts from past invocations.",
@@ -623,6 +702,50 @@ def obs_main(argv: List[str]) -> int:
             "the paths recorded in the journal)"
         ),
     )
+    why = sub.add_parser(
+        "why",
+        help=(
+            "explain one flow's FCT: render its recorded decomposition "
+            "(component table, dominant component, conservation residual)"
+        ),
+    )
+    why.add_argument(
+        "flow",
+        type=int,
+        metavar="FLOW",
+        help="flow id to explain",
+    )
+    why.add_argument(
+        "manifest",
+        metavar="MANIFEST",
+        help="telemetry manifest written by --flightrec --telemetry",
+    )
+    why.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        metavar="N",
+        help="restrict the search to flightrec run index N (default: all)",
+    )
+    flo = sub.add_parser(
+        "flows",
+        help=(
+            "rank the recorded flows by FCT slowdown (tail first) with "
+            "each flow's dominant FCT component"
+        ),
+    )
+    flo.add_argument(
+        "manifest",
+        metavar="MANIFEST",
+        help="telemetry manifest written by --flightrec --telemetry",
+    )
+    flo.add_argument(
+        "--top-tail",
+        type=int,
+        default=10,
+        metavar="K",
+        help="show the K worst flows (default: 10)",
+    )
     args = parser.parse_args(argv)
     if args.verb == "diff":
         return obs_diff_main(args)
@@ -632,6 +755,10 @@ def obs_main(argv: List[str]) -> int:
         return obs_export_main(args)
     if args.verb == "stitch":
         return obs_stitch_main(args)
+    if args.verb == "why":
+        return obs_why_main(args)
+    if args.verb == "flows":
+        return obs_flows_main(args)
 
     pairs = []
     for path in args.manifests:
@@ -985,6 +1112,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sanitizer = None
     if args.sanitize:
         sanitizer = check_invariants.enable()
+    recorder = None
+    if args.flightrec:
+        recorder = obs_flightrec.enable()
     profiler = None
     if args.profile_phases is not None:
         profiler = obs_profiler.enable(args.profile_phases)
@@ -1191,6 +1321,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({run['flows_completed']}/{run['flows']} flows, "
                 f"{run['samples']} samples)"
             )
+    if recorder is not None and collector is None:
+        # No manifest to carry the section — print the decomposition
+        # headlines so the recorder's work is not silently dropped.
+        for run in recorder.runs:
+            totals = run.get("components_total") or {}
+            dominant = max(totals, key=lambda k: totals[k]) if totals else "-"
+            failures = run.get("conservation_failures", 0)
+            status = "conserved" if not failures else f"{failures} FAILURE(S)"
+            print(
+                f"[flightrec] {run.get('desc', '?')}: "
+                f"{run.get('flows_completed', 0)}/{run.get('flows_tracked', 0)} "
+                f"flow(s), dominant={dominant}, {status} "
+                f"(worst residual {run.get('max_residual_ns', 0.0):.3g} ns)"
+            )
+        print(f"[flightrec] {recorder.summary()}")
     if collector is not None:
         # Pool workers execute their events in other processes; their run
         # records carry the counts, so fold them into the process total.
@@ -1215,6 +1360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             profile=profile_section,
             export=export_info,
+            flightrec=(recorder.section() if recorder is not None else None),
         )
         errors = obs_telemetry.validate_manifest(manifest)
         if errors:
@@ -1237,6 +1383,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Leave the process as we found it for in-process callers (tests).
     if sanitizer is not None:
         check_invariants.disable()
+    if recorder is not None:
+        obs_flightrec.disable()
     if tracer is not None:
         obs_tracer.disable()
     if analytics_agg is not None:

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import flightrec as obs_flightrec
 from ..obs import telemetry as obs_telemetry
 from ..sim.network import RunBudget
 from .config import (
@@ -88,6 +89,7 @@ def _worker_init(
     analytics_config: Optional["obs_analytics.AnalyticsConfig"] = None,
     sanitize: bool = False,
     default_backend: str = "packet",
+    flightrec: bool = False,
 ) -> None:
     """Pool initializer: re-install the parent's watchdog and analytics.
 
@@ -100,6 +102,10 @@ def _worker_init(
     ``--sanitize``, every worker gets its own checker so a violation in a
     pool run raises in the worker and surfaces through the future exactly
     like any other run failure.
+
+    The flight recorder follows the analytics pattern: the worker's
+    recorder dies with the worker, the finalized run section rides home on
+    the result object, and the parent re-adopts it.
     """
     set_default_budget(budget)
     set_default_backend(default_backend)
@@ -107,6 +113,8 @@ def _worker_init(
         obs_analytics.enable(analytics_config)
     if sanitize:
         check_invariants.enable()
+    if flightrec:
+        obs_flightrec.enable()
 
 
 def _describe(cfg: Any) -> str:
@@ -309,6 +317,7 @@ def run_campaign(
                     parent_agg.config if parent_agg is not None else None,
                     check_invariants.CHECKER is not None,
                     get_default_backend(),
+                    obs_flightrec.RECORDER is not None,
                 ),
             )
             futures = [(cfg, pool.submit(_run_config_timed, cfg)) for cfg in pending]
@@ -353,6 +362,13 @@ def run_campaign(
                             _describe(cfg),
                             live,
                         )
+                frun = getattr(result, "flightrec", None)
+                if envelope is not None and frun is not None:
+                    # Same shipping pattern as analytics: the worker's
+                    # recorder is gone, so adopt the section it finalized.
+                    rec = obs_flightrec.RECORDER
+                    if rec is not None:
+                        rec.adopt_run(frun)
                 if envelope is None:
                     _announce(progress, f"[{done}/{len(pending)}] {_describe(cfg)} done")
                 else:

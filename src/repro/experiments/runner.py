@@ -40,6 +40,7 @@ import numpy as np
 from ..cc import CCEnv, make_cc, needs_red, uses_cnp
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import flightrec as obs_flightrec
 from ..obs import profiler as obs_profiler
 from ..obs import telemetry as obs_telemetry
 from ..metrics.fairness import convergence_time_ns, jain_series
@@ -134,6 +135,38 @@ def _begin_sanitized_run(cfg: Any) -> None:
             cache_key=cfg.cache_key()[:16],
             seed=cfg.seed,
         )
+
+
+def _begin_flightrec_run(cfg: Any, kind: str) -> None:
+    """Open a flight-recorder run labelled with this config.
+
+    Mirrors :func:`_begin_sanitized_run` — the recorder's working state is
+    per-run, so the label must be stamped before the first flow opens.
+    No-op when the recorder is off.
+    """
+    rec = obs_flightrec.RECORDER
+    if rec is not None:
+        rec.begin_run(kind, cfg.describe())
+
+
+def _finish_flightrec(
+    net: Network,
+    *,
+    convergence_ns: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """Finalize the flight-recorder run and return its manifest section.
+
+    Supplies the ideal-FCT oracle (so decompositions carry slowdowns and
+    sort by them) and the convergence instant for the timeline.  Returns
+    ``None`` when the recorder is off.
+    """
+    rec = obs_flightrec.RECORDER
+    if rec is None:
+        return None
+    return rec.finalize_run(
+        ideal_ns_fn=lambda f: ideal_fct_ns(net, f.src, f.dst, f.size),
+        convergence_ns=convergence_ns,
+    )
 
 
 def _record_run(kind: str, desc: str, *, wall_s: float, events: int, completed: bool) -> None:
@@ -319,6 +352,8 @@ class IncastResult:
     retransmitted_bytes: int = 0
     #: Streaming-analytics summary (None unless analytics was enabled).
     analytics: Optional[Dict[str, Any]] = None
+    #: Flight-recorder run section (None unless the recorder was enabled).
+    flightrec: Optional[Dict[str, Any]] = None
 
     def start_finish_pairs(self) -> List[Tuple[float, float]]:
         """(start, finish) per flow in start order — Figs. 2/3/8/9 data."""
@@ -371,6 +406,7 @@ def _run_incast_packet(cfg: IncastConfig) -> IncastResult:
     """Run one staggered incast and collect fairness/queue series."""
     t_begin = time.perf_counter()
     _begin_sanitized_run(cfg)
+    _begin_flightrec_run(cfg, "incast")
     with _phase("build"):
         red = red_for_rate(cfg.rate_bps) if needs_red(cfg.variant) else None
         topo = build_star(
@@ -424,6 +460,8 @@ def _run_incast_packet(cfg: IncastConfig) -> IncastResult:
         gt, rates = gmon.rates_bps()
         jt, jv = jain_series(gt, rates, flows)
         last_start = max(f.start_time for f in flows)
+        conv_ns = convergence_time_ns(jt, jv, threshold=0.9, after_ns=last_start)
+        frun = _finish_flightrec(net, convergence_ns=conv_ns)
     _record_run(
         "incast",
         cfg.describe(),
@@ -439,7 +477,7 @@ def _run_incast_packet(cfg: IncastConfig) -> IncastResult:
         queue_times_ns=qt,
         queue_values_bytes=qv,
         queue=queue_stats(qt, qv),
-        convergence_ns=convergence_time_ns(jt, jv, threshold=0.9, after_ns=last_start),
+        convergence_ns=conv_ns,
         last_start_ns=last_start,
         all_completed=bool(status),
         events_executed=net.sim.events_executed,
@@ -448,6 +486,7 @@ def _run_incast_packet(cfg: IncastConfig) -> IncastResult:
         fault_drops=net.total_fault_drops(),
         retransmitted_bytes=net.total_retransmitted_bytes(),
         analytics=live,
+        flightrec=frun,
     )
 
 
@@ -472,6 +511,8 @@ class DatacenterResult:
     retransmitted_bytes: int = 0
     #: Streaming-analytics summary (None unless analytics was enabled).
     analytics: Optional[Dict[str, Any]] = None
+    #: Flight-recorder run section (None unless the recorder was enabled).
+    flightrec: Optional[Dict[str, Any]] = None
 
     @property
     def completion_fraction(self) -> float:
@@ -495,6 +536,7 @@ def _run_datacenter_packet(cfg: DatacenterConfig) -> DatacenterResult:
     """Run one fat-tree trace: Poisson arrivals for ``duration``, then drain."""
     t_begin = time.perf_counter()
     _begin_sanitized_run(cfg)
+    _begin_flightrec_run(cfg, "datacenter")
     with _phase("build"):
         red = red_for_rate(cfg.fattree.host_rate_bps) if needs_red(cfg.variant) else None
         topo = build_fattree(cfg.fattree, seed=cfg.seed, red=red)
@@ -555,6 +597,12 @@ def _run_datacenter_packet(cfg: DatacenterConfig) -> DatacenterResult:
         )
     with _phase("collect"):
         records = collect_records(net, flows)
+        # No Jain series here — the analytics detector's instant (when it
+        # ran) is the only convergence signal the timeline can carry.
+        frun = _finish_flightrec(
+            net,
+            convergence_ns=live.get("convergence_ns") if live else None,
+        )
     _record_run(
         "datacenter",
         cfg.describe(),
@@ -574,6 +622,7 @@ def _run_datacenter_packet(cfg: DatacenterConfig) -> DatacenterResult:
         fault_drops=net.total_fault_drops(),
         retransmitted_bytes=net.total_retransmitted_bytes(),
         analytics=live,
+        flightrec=frun,
     )
 
 

@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from ..check import invariants as check_invariants
 from ..obs import analytics as obs_analytics
+from ..obs import flightrec as obs_flightrec
 from ..obs import registry as obs_registry
 from ..obs import telemetry as obs_telemetry
 from ..obs import tracer as obs_tracer
@@ -316,6 +317,7 @@ def _worker_main(
     chaos: Any,
     heartbeat_interval_s: float,
     trace_capacity: Optional[int] = None,
+    flightrec: bool = False,
 ) -> None:
     """Supervised worker loop: receive configs, heartbeat while running.
 
@@ -328,7 +330,7 @@ def _worker_main(
     import threading
     import traceback
 
-    _worker_init(budget, analytics_config, sanitize)
+    _worker_init(budget, analytics_config, sanitize, flightrec=flightrec)
     if trace_capacity:
         # Per-worker trace shard: the ring drains into each "ok" reply so
         # the parent can persist one Chrome-trace shard per run for
@@ -509,6 +511,7 @@ def _spawn_worker(budget: Optional[RunBudget], sup: SupervisorConfig) -> _Worker
             sup.chaos,
             sup.heartbeat_interval_s,
             sup.trace_capacity if sup.trace_shard_dir is not None else None,
+            obs_flightrec.RECORDER is not None,
         ),
         daemon=True,
     )
@@ -731,6 +734,13 @@ def run_supervised(
                 _describe(task.cfg),
                 live,
             )
+        frun = getattr(result, "flightrec", None)
+        if frun is not None:
+            # Worker's recorder died with the worker; adopt the finalized
+            # run section that rode home on the result (analytics pattern).
+            rec = obs_flightrec.RECORDER
+            if rec is not None:
+                rec.adopt_run(frun)
         tel = obs_telemetry.TELEMETRY
         if tel is not None:
             run_status = getattr(result, "status", None)

@@ -27,7 +27,12 @@ attribute read on hot paths (the ``Port.fault_hook`` idiom):
 * :mod:`repro.obs.live` — the ``obs top`` live campaign dashboard,
   tailing a supervised campaign's journal read-only from any process;
 * :mod:`repro.obs.stitch` — ``obs stitch``, merging per-worker trace
-  shards and the campaign journal into one Perfetto timeline.
+  shards and the campaign journal into one Perfetto timeline;
+* :mod:`repro.obs.flightrec` — the flow flight recorder: exact per-flow
+  FCT decomposition (queueing / serialization / propagation / PFC pause /
+  retransmission recovery / CC throttle), per-link utilization and
+  queue-depth series for the packet backend, and the convergence timeline
+  behind ``obs why`` / ``obs flows``.
 
 The registry, tracer, and telemetry layers are **passive**: enabling them
 never schedules events, draws random numbers, or perturbs simulation
@@ -42,6 +47,7 @@ it off and it must be enabled explicitly.
 from . import (
     analytics,
     exporter,
+    flightrec,
     live,
     profiler,
     registry,
@@ -58,6 +64,7 @@ from .tracer import EventTracer
 __all__ = [
     "analytics",
     "exporter",
+    "flightrec",
     "live",
     "profiler",
     "registry",
@@ -82,7 +89,11 @@ def enable_all(*, trace_capacity: int = tracer.DEFAULT_CAPACITY) -> None:
 
     Deliberately does *not* enable :mod:`repro.obs.analytics` — the live
     sampler schedules events, so it stays a separate, explicit switch
-    (``repro-experiments --analytics`` / ``analytics.enable()``).
+    (``repro-experiments --analytics`` / ``analytics.enable()``).  The
+    flight recorder is passive (byte-identical output, events included)
+    but retains per-flow decomposition payloads with a per-run lifecycle,
+    so it too stays an explicit switch (``--flightrec`` /
+    ``flightrec.enable()``).
     """
     registry.enable()
     tracer.enable(capacity=trace_capacity)

@@ -34,6 +34,7 @@ SECTIONS_BY_VERSION: Dict[int, Tuple[str, ...]] = {
     2: ("analytics",),
     3: ("supervisor",),
     4: ("profile", "export"),
+    5: ("flightrec",),
 }
 
 #: Versions render_report accepts (mirrors telemetry.KNOWN_SCHEMA_VERSIONS
@@ -343,6 +344,100 @@ def render_report(
         out.append(f"\n-- metrics export ({len(export_lines)} manifest(s))")
         out.extend(export_lines)
 
+    # -- fct decomposition (schema v5) -------------------------------------
+    fr_rows = []
+    decomp_rows = []
+    for label, m in manifests:
+        section = manifest_section(m, "flightrec")
+        if not section:
+            continue
+        for run in section.get("runs") or ():
+            totals = run.get("components_total") or {}
+            run_dominant = max(totals, key=lambda k: totals[k]) if totals else "-"
+            failures = run.get("conservation_failures", 0)
+            fr_rows.append(
+                (
+                    label,
+                    run.get("desc", "?"),
+                    f"{run.get('flows_completed', 0)}/{run.get('flows_tracked', 0)}",
+                    "OK" if not failures else f"{failures} FAIL",
+                    _fmt_opt(run.get("max_residual_ns"), "{:.3g}"),
+                    run_dominant,
+                    len(run.get("links") or ()),
+                    _fmt_conv((run.get("timeline") or {}).get("convergence_ns")),
+                )
+            )
+            for d in (run.get("decompositions") or ())[:5]:
+                comps = d.get("components") or {}
+                dominant = d.get("dominant", "?")
+                fct_ns = d.get("fct_ns") or 0.0
+                share = (
+                    f"{100.0 * comps.get(dominant, 0.0) / fct_ns:.0f}%"
+                    if fct_ns > 0
+                    else "-"
+                )
+                decomp_rows.append(
+                    (
+                        label,
+                        run.get("desc", "?"),
+                        d.get("flow_id", "?"),
+                        f"{fct_ns / 1e6:.3f}",
+                        _fmt_opt(d.get("slowdown")),
+                        dominant,
+                        share,
+                        d.get("retransmits", 0),
+                    )
+                )
+    if fr_rows:
+        out.append(f"\n-- fct decomposition ({len(fr_rows)} run(s))")
+        out.append(
+            format_table(
+                (
+                    "manifest",
+                    "run",
+                    "flows",
+                    "conserved",
+                    "max-resid-ns",
+                    "dominant",
+                    "links",
+                    "conv_ms",
+                ),
+                fr_rows,
+            )
+        )
+    if decomp_rows:
+        out.append(f"\n-- slowest flows ({len(decomp_rows)} flow(s))")
+        out.append(
+            format_table(
+                (
+                    "manifest",
+                    "run",
+                    "flow",
+                    "fct_ms",
+                    "slowdown",
+                    "dominant",
+                    "share",
+                    "retx",
+                ),
+                decomp_rows,
+            )
+        )
+
+    # A manifest from a *newer* schema than this build knows about still
+    # renders (every known section degrades gracefully), but sections the
+    # future version introduced are silently invisible — shout so nobody
+    # mistakes the partial render for the whole story.
+    max_known = max(KNOWN_VERSIONS)
+    for label, m in manifests:
+        declared = manifest_version(m)
+        if declared > max_known:
+            out.append(
+                f"\n!! unknown schema version: {label} declares v{declared} but "
+                f"this build only understands up to v{max_known} — sections "
+                "introduced after that version are NOT shown; upgrade repro "
+                "to render them"
+            )
+
     # Truncated traces are worse than missing ones — they look complete in
     # the viewer while silently omitting the oldest events.  Shout.
     for label, m in manifests:
@@ -399,4 +494,152 @@ def render_report(
             format_table(("benchmark", "wall_s", "events", "events/s"), bench_rows)
         )
 
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Flight-recorder verbs: ``obs why FLOW`` and ``obs flows --top-tail``
+# ---------------------------------------------------------------------------
+
+
+def flightrec_runs(manifest: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The manifest's flight-recorder run sections ([] when absent)."""
+    section = manifest_section(manifest, "flightrec") or {}
+    return list(section.get("runs") or ())
+
+
+def _fmt_ms(ns: Any) -> str:
+    return f"{float(ns) / 1e6:.3f}" if isinstance(ns, (int, float)) else "-"
+
+
+def render_why(
+    manifest: Dict[str, Any],
+    flow_id: int,
+    run_index: Optional[int] = None,
+) -> Optional[str]:
+    """Explain one flow's FCT as its component decomposition, or None.
+
+    Searches every flight-recorder run (or just ``run_index``) for the
+    flow; the first match wins.  Returns ``None`` when the manifest has
+    no flightrec section or the flow is not among the retained
+    decompositions (the section caps them — see ``flows_truncated``).
+    """
+    from ..experiments.reporting import format_table
+
+    runs = flightrec_runs(manifest)
+    candidates = (
+        list(enumerate(runs))
+        if run_index is None
+        else [(run_index, runs[run_index])]
+        if 0 <= run_index < len(runs)
+        else []
+    )
+    for idx, run in candidates:
+        for d in run.get("decompositions") or ():
+            if d.get("flow_id") != flow_id:
+                continue
+            fct_ns = d.get("fct_ns") or 0.0
+            comps = d.get("components") or {}
+            out = [
+                f"=== obs why: flow {flow_id} "
+                f"(run {idx}: {run.get('kind', '?')}/{run.get('desc', '?')}) ===",
+                f"path {d.get('src', '?')} -> {d.get('dst', '?')}, "
+                f"{d.get('size_bytes', '?')} bytes, "
+                f"started {_fmt_ms(d.get('start_ns'))} ms",
+            ]
+            line = f"fct {_fmt_ms(fct_ns)} ms"
+            slowdown = d.get("slowdown")
+            if isinstance(slowdown, (int, float)):
+                line += (
+                    f" (ideal {_fmt_ms(d.get('ideal_ns'))} ms, "
+                    f"slowdown {slowdown:.2f})"
+                )
+            line += (
+                f", {d.get('retransmits', 0)} retransmit(s), "
+                f"{d.get('acks', 0)} ack(s)"
+            )
+            out.append(line)
+            rows = []
+            for name in sorted(comps, key=lambda n: -comps[n]):
+                value = comps[name]
+                share = f"{100.0 * value / fct_ns:.1f}%" if fct_ns > 0 else "-"
+                rows.append((name, f"{value:,.1f}", share))
+            out.append(format_table(("component", "ns", "share"), rows))
+            dominant = d.get("dominant", "?")
+            dom_share = (
+                f"{100.0 * comps.get(dominant, 0.0) / fct_ns:.1f}%"
+                if fct_ns > 0
+                else "-"
+            )
+            out.append(
+                f"dominant component: {dominant} ({dom_share} of FCT)"
+            )
+            residual = d.get("residual_ns", 0.0)
+            status = "OK" if abs(residual) <= 1.0 else "VIOLATED (> 1 ns)"
+            out.append(
+                f"conservation: components sum to FCT, residual "
+                f"{residual:.3g} ns [{status}]"
+            )
+            return "\n".join(out)
+    return None
+
+
+def render_flows(manifest: Dict[str, Any], top: int = 10) -> Optional[str]:
+    """The top-``top`` tail flows across every flight-recorder run.
+
+    Ranked by slowdown when the runs carried the ideal-FCT oracle,
+    falling back to raw FCT.  Returns ``None`` when the manifest has no
+    flightrec section.
+    """
+    from ..experiments.reporting import format_table
+
+    runs = flightrec_runs(manifest)
+    if not runs:
+        return None
+    entries = [
+        (idx, run, d)
+        for idx, run in enumerate(runs)
+        for d in run.get("decompositions") or ()
+    ]
+    entries.sort(
+        key=lambda e: (
+            e[2].get("slowdown") or 0.0,
+            e[2].get("fct_ns") or 0.0,
+        ),
+        reverse=True,
+    )
+    truncated = sum(run.get("flows_truncated", 0) for run in runs)
+    rows = []
+    for idx, run, d in entries[:top]:
+        comps = d.get("components") or {}
+        dominant = d.get("dominant", "?")
+        fct_ns = d.get("fct_ns") or 0.0
+        share = (
+            f"{100.0 * comps.get(dominant, 0.0) / fct_ns:.0f}%"
+            if fct_ns > 0
+            else "-"
+        )
+        rows.append(
+            (
+                f"{idx}:{run.get('desc', '?')}",
+                d.get("flow_id", "?"),
+                _fmt_ms(fct_ns),
+                _fmt_opt(d.get("slowdown")),
+                dominant,
+                share,
+                d.get("retransmits", 0),
+            )
+        )
+    out = [f"=== obs flows: top {len(rows)} tail flow(s) ==="]
+    out.append(
+        format_table(
+            ("run", "flow", "fct_ms", "slowdown", "dominant", "share", "retx"),
+            rows,
+        )
+    )
+    if truncated:
+        out.append(
+            f"(note: {truncated} additional flow(s) not retained in the "
+            "manifest — the flightrec section caps decompositions per run)"
+        )
     return "\n".join(out)

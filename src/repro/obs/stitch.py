@@ -241,21 +241,39 @@ def _load_shard(path: Any, shard_root: Optional[Any]) -> Optional[Dict[str, Any]
     return None
 
 
-def _embed_shard(
-    shard: Dict[str, Any], span: Tuple[int, float, float]
-) -> List[dict]:
-    """Rescale one run's virtual-time shard into its wall-clock span."""
-    pid, start_us, dur_us = span
-    raw = [ev for ev in shard["traceEvents"] if isinstance(ev, dict)]
+def virtual_extent_us(events: List[dict]) -> float:
+    """The latest timestamp (+duration) across a shard's virtual events."""
     extent = 0.0
-    for ev in raw:
+    for ev in events:
         ts = ev.get("ts")
         if isinstance(ts, (int, float)):
             extent = max(extent, ts + (ev.get("dur") or 0.0))
+    return extent
+
+
+def rescale_events(
+    events: List[dict],
+    *,
+    pid: int,
+    start_us: float,
+    dur_us: float,
+) -> List[dict]:
+    """Linearly map virtual-time events into a wall-clock window.
+
+    This is THE virtual→wall rescale for the whole obs plane: journal
+    shard events, flight-recorder link/queue series counters, and the
+    fluid backend's rate/queue series all ride through here, so every
+    lane of a merged Perfetto timeline shares one time base.  Virtual
+    nanoseconds and wall seconds share no clock; rank order inside the
+    window is what the mapping preserves.  Metadata (``ph == "M"``) and
+    timestamp-less events are dropped; tids are shifted past the
+    per-worker "runs" lane (:data:`SHARD_TID_BASE`).
+    """
+    extent = virtual_extent_us(events)
     scale = (dur_us / extent) if extent > 0 and dur_us > 0 else 0.0
     out: List[dict] = []
     seen_tids = set()
-    for ev in raw:
+    for ev in events:
         ts = ev.get("ts")
         if ev.get("ph") == "M" or not isinstance(ts, (int, float)):
             continue
@@ -272,6 +290,15 @@ def _embed_shard(
     for tid in sorted(seen_tids):
         out.append(_meta(pid, "thread_name", f"sim lane {tid - SHARD_TID_BASE}", tid))
     return out
+
+
+def _embed_shard(
+    shard: Dict[str, Any], span: Tuple[int, float, float]
+) -> List[dict]:
+    """Rescale one run's virtual-time shard into its wall-clock span."""
+    pid, start_us, dur_us = span
+    raw = [ev for ev in shard["traceEvents"] if isinstance(ev, dict)]
+    return rescale_events(raw, pid=pid, start_us=start_us, dur_us=dur_us)
 
 
 def write_stitched(

@@ -31,10 +31,13 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 #: worker kill/loss counts from the fault-tolerant campaign supervisor);
 #: version 4 added the ``profile`` section (hot-path phase attribution from
 #: ``obs/profiler.py``) and the ``export`` section (what the OpenMetrics
-#: exporter published).  Older manifests remain valid; ``obs report``
-#: dispatches sections by version (see ``report.SECTIONS_BY_VERSION``).
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4)
-SCHEMA_VERSION = 4
+#: exporter published); version 5 added the ``flightrec`` section (per-flow
+#: FCT decompositions, link utilization/queue series, and the convergence
+#: timeline from ``obs/flightrec.py``).  Older manifests remain valid;
+#: ``obs report`` dispatches sections by version (see
+#: ``report.SECTIONS_BY_VERSION``).
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+SCHEMA_VERSION = 5
 MANIFEST_KIND = "repro-telemetry"
 
 _SCHEMA_PATH = Path(__file__).with_name("telemetry_schema.json")
@@ -207,6 +210,7 @@ def build_manifest(
     analytics: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
     export: Optional[Dict[str, Any]] = None,
+    flightrec: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a schema-conformant manifest dict.
 
@@ -215,7 +219,8 @@ def build_manifest(
     :class:`repro.obs.tracer.EventTracer`, ``analytics`` an
     :meth:`repro.obs.analytics.AnalyticsAggregator.section` dict,
     ``profile`` a :meth:`repro.obs.profiler.PhaseProfiler.section` dict,
-    ``export`` a :func:`repro.obs.exporter.export_section` summary.
+    ``export`` a :func:`repro.obs.exporter.export_section` summary,
+    ``flightrec`` a :meth:`repro.obs.flightrec.FlightRecorder.section` dict.
     """
     store = None
     if store_stats is not None:
@@ -255,6 +260,7 @@ def build_manifest(
         "analytics": analytics,
         "profile": profile,
         "export": export,
+        "flightrec": flightrec,
         "heartbeats": list(collector.heartbeats) if collector is not None else [],
     }
 

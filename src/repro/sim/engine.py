@@ -48,6 +48,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from ..check import invariants as check_invariants
+from ..obs import flightrec as obs_flightrec
 from ..obs import profiler as obs_profiler
 from ..obs import registry as obs_registry
 
@@ -341,11 +342,20 @@ class Simulator:
             runaway feedback loops in tests).
         """
         # Dispatch, not inline hooks: the fast loop below must carry zero
-        # profiler instructions (a benchmark guard asserts its bytecode is
-        # profiler-free), so the profiled variant is a separate twin loop.
+        # profiler or flight-recorder instructions (benchmark guards assert
+        # its bytecode is clean of both), so the profiled variant is a
+        # separate twin loop and the recorder learns the run extent here,
+        # once per run() call, after the loop returns.
         if obs_profiler.PHASE_HOOKS is not None:
-            return self._run_profiled(until, max_events)
-        return self._run_fast(until, max_events)
+            self._run_profiled(until, max_events)
+        else:
+            self._run_fast(until, max_events)
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            # Max virtual time reached: the denominator for link-utilization
+            # parity with the fluid backend and the virtual-time extent that
+            # `obs stitch` rescales against.
+            fr.on_run_extent(self._now)
 
     def _run_fast(
         self,

@@ -107,6 +107,7 @@ class SenderState:
         "retransmitted_bytes",
         "last_rto_acked",
         "probe_mode",
+        "fr",
     )
 
     def __init__(self, flow: Flow, cc: "CongestionControl"):
@@ -128,6 +129,9 @@ class SenderState:
         # stop-and-wait mode because consecutive RTOs made no progress.
         self.last_rto_acked = -1
         self.probe_mode = False
+        # Flight-recorder track (repro.obs.flightrec); None unless the
+        # recorder was on when this flow started.
+        self.fr = None
 
     @property
     def inflight(self) -> int:

@@ -56,7 +56,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.fluid_model import max_min_allocation
 from ..metrics.fct import ideal_fct_ns
+from ..obs import flightrec as obs_flightrec
 from ..obs import profiler as obs_profiler
+from ..obs import tracer as obs_tracer
 from .flow import Flow
 from .network import CompletionStatus, Network
 from .packet import HEADER_BYTES
@@ -543,6 +545,36 @@ class FluidEngine:
                 out[dlink] = min(1.0, served / (cap * elapsed))
         return out
 
+    def _emit_series_trace(self) -> None:
+        """Mirror the sampled series onto the tracer as counter events.
+
+        Parity with the packet backend's flight recorder: when both the
+        recorder and the tracer are on, the fluid run's queue/rate series
+        land in the trace shard as virtual-time counters (``cat``
+        ``flightrec``), so ``obs stitch`` rescales them with every other
+        shard event and merged Perfetto timelines stay aligned.
+        """
+        tr = obs_tracer.TRACER
+        if tr is None or obs_flightrec.RECORDER is None:
+            return
+        for ts, depth in zip(self._queue_samples.times, self._queue_samples.values):
+            tr.counter("queue fluid", ts, {"bytes": depth}, cat="flightrec")
+        # Per-flow rate lanes are capped like the recorder's timeline —
+        # a datacenter-scale run would otherwise emit thousands of tracks.
+        shown = self._order[: obs_flightrec.TIMELINE_FLOWS_CAP]
+        for row_idx, ts in enumerate(self._rate_samples.times):
+            row = self._rate_samples.values[row_idx]
+            for col, fid in enumerate(shown):
+                tr.counter(
+                    f"rate flow {fid}", ts, {"bps": row[col]}, cat="flightrec"
+                )
+        if self._track_utilization and self.now > 0.0:
+            for (u, v), util in sorted(self.link_utilization().items()):
+                tr.counter(
+                    f"util {u}->{v}", self.now, {"utilization": util},
+                    cat="flightrec",
+                )
+
     # -- main loop ---------------------------------------------------------
 
     def run(self, timeout_ns: float) -> CompletionStatus:
@@ -669,6 +701,7 @@ class FluidEngine:
 
         if prof is not None:
             prof.pop()
+        self._emit_series_trace()
         incomplete = tuple(
             sorted(fid for fid, st in self._flows.items() if not st.flow.completed)
         )

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..check import invariants as check_invariants
+from ..obs import flightrec as obs_flightrec
 from ..obs import registry as obs_registry
 from ..obs import tracer as obs_tracer
 from .engine import Simulator
@@ -146,6 +147,9 @@ class Host(Node):
 
     def _start_flow(self, state: SenderState) -> None:
         state.flow.started = True
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            state.fr = fr.open_flow(state)
         state.cc.on_flow_start(self.sim.now())
         self._try_send(state)
         if self.loss_recovery:
@@ -183,6 +187,13 @@ class Host(Node):
             chk = check_invariants.CHECKER
             if chk is not None:
                 chk.on_send(state)
+            fr = obs_flightrec.RECORDER
+            if fr is not None:
+                track = state.fr
+                if track is not None:
+                    # Closes [cursor, now] as CC-throttle (pacing idle) and
+                    # stamps the packet before the NIC enqueue sees it.
+                    fr.on_send(track, pkt, now)
             nic.enqueue(pkt)
             rate = cc.pacing_rate_bps
             if rate is not None and rate > 0.0:
@@ -250,6 +261,13 @@ class Host(Node):
                 tid=flow.flow_id,
                 args={"rewind_to": state.acked, "backoff": state.rto_backoff},
             )
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            track = state.fr
+            if track is not None:
+                # The stall this timeout ends is retransmission recovery; the
+                # benign re-arm branch above deliberately has no hook.
+                fr.on_retx(track, self.sim.now())
         state.next_seq = state.acked
         state.rto_backoff = min(state.rto_backoff * 2.0, self.max_rto_backoff)
         state.cc.on_timeout(self.sim.now())
@@ -334,6 +352,13 @@ class Host(Node):
             state.probe_mode = False
             state.last_rto_acked = -1
             self._arm_rto(state, reset=True)
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            track = state.fr
+            if track is not None:
+                # Every ACK (duplicates included) closes [cursor, now] using
+                # the round-trip breakdown echoed on the packet's stamp.
+                fr.on_ack(track, pkt.fr, state.acked, now)
         ctx = self._ack_ctx
         ctx.now = now
         ctx.ack_seq = pkt.seq
@@ -367,6 +392,13 @@ class Host(Node):
                         "retransmits": state.retransmits,
                     },
                 )
+            if fr is not None:
+                track = state.fr
+                if track is not None:
+                    # The final ACK just closed the last interval, so the
+                    # six components now telescope to exactly the FCT; this
+                    # checks conservation (and the sanitizer cross-check).
+                    fr.on_complete(track, state, now)
             for cb in self.completion_callbacks:
                 cb(flow)
             return

@@ -101,6 +101,7 @@ class Packet:
         "priority",
         "pause_duration",
         "corrupt",
+        "fr",
     )
 
     def __init__(
@@ -133,6 +134,9 @@ class Packet:
         # Set by fault injectors; corrupt packets are discarded (and counted)
         # by the destination host's CRC check, never acknowledged.
         self.corrupt = False
+        # Flight-recorder stamp (repro.obs.flightrec): None unless the
+        # recorder is on and this is a data packet or its echoed ACK.
+        self.fr = None
 
     # -- constructors ---------------------------------------------------
 
@@ -184,6 +188,9 @@ class Packet:
         ackp.ece = data_pkt.ece
         ackp.int_records = data_pkt.int_records
         ackp.hops = data_pkt.hops
+        # Echo the flight-recorder stamp: the return path keeps accumulating
+        # on it, so the sender sees one full round-trip breakdown per ACK.
+        ackp.fr = data_pkt.fr
         return ackp
 
     @classmethod

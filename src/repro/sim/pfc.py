@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..check import invariants as check_invariants
+from ..obs import flightrec as obs_flightrec
 from ..obs import registry as obs_registry
 
 
@@ -114,6 +115,9 @@ class PfcEgressState:
     def pause(self, now: float, duration_ns: float) -> None:
         """Apply a PAUSE frame received at ``now``."""
         self.paused_until = max(self.paused_until, now + duration_ns)
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            fr.on_pause(self, now, duration_ns)
 
     def resume(self) -> None:
         """Apply a RESUME frame (clears any remaining pause)."""

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..check import invariants as check_invariants
+from ..obs import flightrec as obs_flightrec
 from ..obs import profiler as obs_profiler
 from ..obs import registry as obs_registry
 from ..obs import tracer as obs_tracer
@@ -230,6 +231,9 @@ class Port:
         chk = check_invariants.CHECKER
         if chk is not None:
             chk.on_enqueue(self, pkt)
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            fr.on_enqueue(self, pkt, self.sim._now)
         if self.queue_bytes > self.max_qlen_seen:
             self.max_qlen_seen = self.queue_bytes
             tr = obs_tracer.TRACER
@@ -300,6 +304,12 @@ class Port:
             )
             pkt.hops += 1
         ser = self.spec.serialization_ns(size)
+        fr = obs_flightrec.RECORDER
+        if fr is not None:
+            # One hook covers both delivery paths below: the per-hop wait /
+            # serialization / propagation / pause breakdown accumulates on
+            # the packet's stamp here, at serialization start.
+            fr.on_dequeue(self, pkt, now, ser)
         peer = self.peer_node
         if (
             ingress is None
@@ -401,6 +411,11 @@ class Port:
                 )
         elif pkt.kind == RESUME:
             self.pfc_egress.resume()
+            fr = obs_flightrec.RECORDER
+            if fr is not None:
+                # resume() carries no timestamp, so the pause-time integrator
+                # is settled here rather than inside PfcEgressState.
+                fr.on_resume(self.pfc_egress, self.sim.now())
             reg = obs_registry.STATS
             if reg is not None:
                 reg.counter("pfc.resumes_applied").inc()

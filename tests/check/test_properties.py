@@ -20,6 +20,7 @@ from repro.check import invariants
 from repro.check.invariants import InvariantViolation
 from repro.experiments.config import DatacenterConfig, FaultConfig, IncastConfig
 from repro.experiments.runner import run_datacenter, run_incast
+from repro.obs import flightrec
 from repro.topology import scaled_fattree_params
 from repro.units import us
 
@@ -94,6 +95,46 @@ def test_faulted_incast_recovers_under_sanitizer(
     assert result.all_completed
     assert result.fault_drops > 0
     assert result.retransmitted_bytes > 0
+
+
+@given(
+    every_nth=st.integers(min_value=6, max_value=30),
+    target=st.sampled_from(("bottleneck", "fabric")),
+    fault_seed=st.integers(min_value=0, max_value=99),
+    n_senders=st.integers(min_value=2, max_value=4),
+)
+@SIM_SETTINGS
+def test_fct_decomposition_conserves_under_random_faults(
+    every_nth, target, fault_seed, n_senders
+):
+    # The flight recorder's conservation contract — every completed flow's
+    # six components sum to its FCT within 1 ns — must hold under random
+    # fault schedules too, with the sanitizer cross-checking each
+    # decomposition live (invariant ``flightrec-conserve``).
+    cfg = IncastConfig(
+        variant="hpcc",
+        n_senders=n_senders,
+        flow_size_bytes=24_000,
+        faults=FaultConfig(
+            drop_every_nth=every_nth, target=target, seed=fault_seed
+        ),
+        seed=3,
+    )
+    with flightrec.capture():
+        result = _run_sanitized(
+            run_incast, cfg, "flightrec-conservation-minimal-failure"
+        )
+    assert result.all_completed
+    frun = result.flightrec
+    assert frun is not None
+    if frun["conservation_failures"] > 0:
+        write_failure_artifact(
+            "flightrec-conservation-minimal-failure",
+            {"config": asdict(cfg), "flightrec": frun},
+        )
+    assert frun["conservation_failures"] == 0
+    assert frun["max_residual_ns"] <= 1.0
+    assert frun["flows_completed"] == n_senders
 
 
 @given(

@@ -31,6 +31,7 @@ class TestRenderReport:
         "manifest_analytics.json",  # v2, live analytics
         "manifest_supervisor.json",  # v3, supervised campaign
         "manifest_profile.json",  # v4, profiler + exporter sections
+        "manifest_flightrec.json",  # v5, flight-recorder FCT decomposition
     )
 
     def test_fixture_manifests_are_schema_valid(self):
@@ -44,12 +45,16 @@ class TestRenderReport:
         assert text + "\n" == golden
 
     def test_version_dispatch_is_cumulative(self):
-        assert sections_for(1) < sections_for(2) < sections_for(3) < sections_for(4)
+        assert (
+            sections_for(1) < sections_for(2) < sections_for(3)
+            < sections_for(4) < sections_for(5)
+        )
         assert "analytics" not in sections_for(1)
         assert "supervisor" in sections_for(3)
         assert {"profile", "export"} <= sections_for(4)
+        assert "flightrec" in sections_for(5)
         # Unknown future versions degrade to everything we know how to read.
-        assert sections_for(99) == sections_for(4)
+        assert sections_for(99) == sections_for(5)
 
     def test_manifest_version_defaults_and_rejects_junk(self):
         assert manifest_version({"schema_version": 3}) == 3
@@ -73,8 +78,25 @@ class TestRenderReport:
             ("manifest_supervisor.json", "-- supervision"),
             ("manifest_profile.json", "-- hot-path profile"),
             ("manifest_profile.json", "-- metrics export"),
+            ("manifest_flightrec.json", "-- fct decomposition"),
+            ("manifest_flightrec.json", "-- slowest flows"),
         ):
             assert marker in render_report([(name, _load(name))]), (name, marker)
+
+    def test_future_schema_version_warns_loudly(self):
+        # A manifest declaring a version newer than this build understands
+        # must shout, not silently drop the sections it cannot dispatch.
+        doc = _load("manifest_flightrec.json")
+        doc["schema_version"] = 99
+        text = render_report([("future.json", doc)])
+        assert "!! unknown schema version" in text
+        assert "future.json declares v99" in text
+        assert "up to v5" in text
+        # Known versions never trip the warning.
+        clean = render_report(
+            [(n, _load(n)) for n in self.FIXTURES]
+        )
+        assert "unknown schema version" not in clean
 
     def test_truncated_trace_warns_loudly(self):
         # manifest_campaign.json records 120 ring-dropped trace events.

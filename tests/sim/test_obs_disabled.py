@@ -11,7 +11,7 @@ Two guarantees, same mechanism as ``test_port_fusion.py``:
 from repro import obs
 from repro.experiments.config import scaled_incast
 from repro.experiments.runner import run_incast
-from repro.obs import analytics, exporter, profiler
+from repro.obs import analytics, exporter, flightrec, profiler
 
 
 def _signature(result):
@@ -76,6 +76,36 @@ def test_analytics_enabled_run_identical_except_sampler_events():
     assert summary["flows_completed"] == len(live_run.flows)
     assert summary["slowdown"]["count"] == len(live_run.flows)
     assert bare.analytics is None
+
+
+def test_flightrec_enabled_run_byte_identical():
+    # The flight recorder is fully passive — it stamps packets and reads
+    # timestamps but schedules nothing and draws no RNG — so unlike
+    # analytics even events_executed must not move.  It stays out of
+    # enable_all (per-run lifecycle, retains per-flow payloads), hence
+    # the explicit capture here.
+    cfg = scaled_incast("hpcc-vai-sf", 8)
+    bare = run_incast(cfg)
+    with flightrec.capture() as rec:
+        recorded = run_incast(cfg)
+    assert recorded.all_completed
+    assert _signature(bare) == _signature(recorded)
+    # The run was really recorded, not silently skipped.
+    frun = recorded.flightrec
+    assert frun is not None
+    assert frun["flows_completed"] == len(recorded.flows)
+    assert frun["conservation_failures"] == 0
+    assert bare.flightrec is None
+    assert rec.runs  # the section also landed on the recorder itself
+
+
+def test_enable_all_leaves_flightrec_off():
+    assert flightrec.RECORDER is None
+    obs.enable_all()
+    try:
+        assert flightrec.RECORDER is None
+    finally:
+        obs.disable_all()
 
 
 def test_profiler_output_byte_identical_both_modes():
