@@ -35,6 +35,11 @@ from .pfc import PfcConfig, PfcEgressState, PfcIngress
 from .port import Port, RedConfig
 from .switch import RoutingError, Switch
 from .trace import FlowSnapshot, FlowTracer, PortCounterSampler, PortSample
+from .wheel import TimingWheel
+
+# NOTE: repro.sim.turbo (TurboSimulator & friends) is deliberately NOT
+# imported here — it requires numpy (the [perf] extra) and is pulled in
+# lazily by Network(engine="turbo").
 
 __all__ = [
     "ACK",
@@ -77,4 +82,5 @@ __all__ = [
     "Simulator",
     "Switch",
     "SwitchBlackoutInjector",
+    "TimingWheel",
 ]

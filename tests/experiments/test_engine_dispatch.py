@@ -1,0 +1,206 @@
+"""Engine selection: config field, cache keying, dispatch, CLI threading.
+
+The ``engine`` field mirrors ``backend`` exactly (see test_backend.py): it
+defaults invisibly (pre-existing cache/store keys stay valid), renders into
+keys and names only when non-default, threads through the process default
+(CLI ``--engine``) into cached runners and pool workers, and dispatches the
+network construction to the turbo classes.
+"""
+
+import pytest
+
+np = None
+try:  # the turbo engine needs numpy; threading tests below do not
+    import numpy as np  # noqa: F401
+except ImportError:
+    pass
+
+from repro.experiments.config import (
+    ENGINES,
+    DatacenterConfig,
+    IncastConfig,
+    apply_default_engine,
+    get_default_engine,
+    scaled_datacenter,
+    scaled_incast,
+    set_default_engine,
+    with_backend,
+    with_engine,
+)
+from repro.experiments.runner import clear_caches, run_incast_cached
+from repro.experiments.store import ResultStore, canonical_config_repr
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy not installed")
+
+
+@pytest.fixture(autouse=True)
+def _reset_engine_default():
+    yield
+    set_default_engine("reference")
+    clear_caches()
+
+
+class TestEngineField:
+    def test_default_is_reference(self):
+        assert ENGINES == ("reference", "turbo")
+        assert scaled_incast("hpcc").engine == "reference"
+        assert scaled_datacenter("hpcc").engine == "reference"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            IncastConfig(variant="hpcc", engine="quantum")
+        with pytest.raises(ValueError, match="engine"):
+            DatacenterConfig(variant="hpcc", engine="")
+        with pytest.raises(ValueError, match="engine"):
+            with_engine(scaled_incast("hpcc"), "nope")
+        with pytest.raises(ValueError, match="engine"):
+            set_default_engine("nope")
+
+    def test_describe_tags_non_reference_only(self):
+        cfg = scaled_incast("hpcc")
+        assert "[turbo]" not in cfg.describe()
+        assert "[turbo]" in with_engine(cfg, "turbo").describe()
+        assert "[turbo]" in with_engine(scaled_datacenter("hpcc"), "turbo").describe()
+
+    def test_engine_composes_with_backend(self):
+        cfg = with_engine(with_backend(scaled_incast("hpcc"), "flow"), "turbo")
+        assert cfg.backend == "flow" and cfg.engine == "turbo"
+
+
+class TestCacheKeying:
+    def test_engines_never_collide(self):
+        ref = scaled_incast("hpcc")
+        turbo = with_engine(ref, "turbo")
+        assert ref.cache_key() != turbo.cache_key()
+
+    def test_reference_key_unchanged_by_field_addition(self):
+        """engine='reference' never renders into the canonical repr, so
+        store entries written before the field existed stay valid."""
+        assert "engine" not in canonical_config_repr(scaled_incast("hpcc"))
+        assert "engine='turbo'" in canonical_config_repr(
+            with_engine(scaled_incast("hpcc"), "turbo")
+        )
+
+    def test_store_paths_distinct_and_named(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ref = scaled_incast("hpcc")
+        turbo = with_engine(ref, "turbo")
+        r_path, t_path = store.path_for(ref), store.path_for(turbo)
+        assert r_path != t_path
+        assert "turbo" in t_path.name
+        assert "turbo" not in r_path.name
+
+    def test_store_entries_do_not_alias(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ref = scaled_incast("hpcc")
+        turbo = with_engine(ref, "turbo")
+        store.put(ref, "ref-result")
+        store.put(turbo, "turbo-result")
+        assert store.get(ref) == "ref-result"
+        assert store.get(turbo) == "turbo-result"
+
+
+class TestDefaultEngine:
+    def test_default_engine_roundtrip(self):
+        assert get_default_engine() == "reference"
+        set_default_engine("turbo")
+        assert get_default_engine() == "turbo"
+
+    def test_apply_rewrites_reference_default_only(self):
+        cfg = scaled_incast("hpcc")
+        explicit = with_engine(cfg, "turbo")
+        set_default_engine("turbo")
+        assert apply_default_engine(cfg).engine == "turbo"
+        assert apply_default_engine(explicit) is explicit
+        set_default_engine("reference")
+        assert apply_default_engine(cfg) is cfg
+
+    @needs_numpy
+    def test_cached_runner_honors_process_default(self):
+        """A reference-spelled config runs (and caches) as turbo under the
+        process default — the CLI --engine path for figure functions."""
+        set_default_engine("turbo")
+        cfg = IncastConfig(
+            variant="hpcc-vai-sf",
+            n_senders=4,
+            flow_size_bytes=100_000,
+            timeout_ns=5e6,
+        )
+        result = run_incast_cached(cfg)
+        assert result.config.engine == "turbo"
+        # The cache hit keys under the *turbo* spelling.
+        again = run_incast_cached(with_engine(cfg, "turbo"))
+        assert again is result
+
+    def test_pool_initializer_ships_engine_default(self):
+        """The worker initializer signature carries the engine default so
+        pool workers inherit the CLI's --engine (backend twin)."""
+        import inspect
+
+        from repro.experiments.parallel import _worker_init
+
+        params = inspect.signature(_worker_init).parameters
+        assert "default_engine" in params
+        assert params["default_engine"].default == "reference"
+
+    def test_campaign_for_figures_stamps_engine(self):
+        from repro.experiments.parallel import campaign_for_figures
+
+        campaign = campaign_for_figures(["1"], engine="turbo")
+        assert campaign and all(cfg.engine == "turbo" for cfg in campaign)
+        unstamped = campaign_for_figures(["1"])
+        assert all(cfg.engine == "reference" for cfg in unstamped)
+
+
+@needs_numpy
+class TestMatrixPlumbing:
+    def test_workloads_cover_reference_figures(self):
+        from repro.check.differential import (
+            ENGINE_MODES,
+            engine_reference_workloads,
+        )
+
+        names = set(engine_reference_workloads())
+        assert {"fig1/hpcc", "fig8/hpcc-vai-sf", "fig9/swift-vai-sf"} <= names
+        assert any(n.startswith("dc/") for n in names)
+        assert ENGINE_MODES == ("plain", "sanitize", "obs", "faults")
+
+    def test_unknown_workload_and_mode_rejected(self):
+        from repro.check.differential import engine_equivalence_matrix
+
+        with pytest.raises(ValueError, match="workload"):
+            engine_equivalence_matrix(["fig99/nope"])
+        with pytest.raises(ValueError, match="mode"):
+            engine_equivalence_matrix(["fig1/hpcc"], ["sideways"])
+
+    def test_matrix_refuses_without_numpy(self, monkeypatch):
+        from repro.check import differential
+        from repro.sim import turbo
+
+        monkeypatch.setattr(turbo, "_np", None)
+        with pytest.raises(ImportError, match=r"repro\[perf\]"):
+            differential.engine_equivalence_matrix(["fig1/hpcc"], ["plain"])
+
+    def test_cell_render_and_dict_flag_mismatch(self):
+        from repro.check.differential import EngineEquivalence
+
+        bad = EngineEquivalence(
+            workload="fig1/hpcc",
+            mode="plain",
+            digest_reference="a" * 64,
+            digest_turbo="b" * 64,
+            events_reference=10,
+            events_turbo=10,
+        )
+        assert not bad.matched
+        assert "FAIL" in bad.render()
+        assert bad.to_dict()["matched"] is False
+        ok = EngineEquivalence(
+            workload="fig1/hpcc",
+            mode="plain",
+            digest_reference="a" * 64,
+            digest_turbo="a" * 64,
+            events_reference=10,
+            events_turbo=10,
+        )
+        assert ok.matched and "ok" in ok.render()

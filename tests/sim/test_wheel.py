@@ -1,0 +1,293 @@
+"""Timing-wheel edge cases: ordering identity with the reference heap.
+
+The wheel's whole contract is that its pop order equals a single global
+``heapq`` heap over the same ``(fire_time, schedule_time, seq, Event)``
+entries — that identity is what lets the turbo engine promise byte-identical
+simulation outputs.  These tests pin the corners where a calendar queue can
+silently diverge from a heap: same-tick ties, the current-bucket heappush
+path, cursor wrap-around, overflow spill, and lazy cancellation, plus a
+Hypothesis sweep over random (but never-into-the-past) schedules.
+"""
+
+import heapq
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event
+from repro.sim.wheel import DEFAULT_BUCKET_NS, DEFAULT_N_BUCKETS, TimingWheel
+
+
+def _entry(fire, seq, schedule_time=0.0):
+    """An engine-shaped wheel entry with a live Event payload."""
+    ev = Event(fire, seq, lambda: None, ())
+    return (fire, schedule_time, seq, ev)
+
+
+def _drain(wheel):
+    """Pop everything in wheel order (unbounded peek, like sim.run())."""
+    out = []
+    while True:
+        head = wheel.peek_until(None)
+        if head is None:
+            return out
+        assert wheel.pop() is head
+        out.append(head)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        wheel = TimingWheel()
+        assert wheel.bucket_ns == DEFAULT_BUCKET_NS
+        assert wheel.n_buckets == DEFAULT_N_BUCKETS
+        assert wheel.size == 0 and len(wheel) == 0
+
+    def test_rejects_degenerate_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="bucket_ns"):
+            TimingWheel(bucket_ns=0.0)
+        with pytest.raises(ValueError, match="buckets"):
+            TimingWheel(n_buckets=1)
+
+
+class TestSameTickOrdering:
+    def test_same_fire_time_pops_in_stamp_order(self):
+        """Ties on fire time break by (schedule_time, seq) — the stamped id
+        the reference heap uses — not by insertion order games."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=16)
+        entries = [
+            _entry(40.0, seq=5, schedule_time=2.0),
+            _entry(40.0, seq=1, schedule_time=3.0),
+            _entry(40.0, seq=9, schedule_time=1.0),
+            _entry(40.0, seq=2, schedule_time=1.0),
+        ]
+        for e in entries:
+            wheel.push(e)
+        assert _drain(wheel) == sorted(entries)
+
+    def test_push_into_current_bucket_keeps_heap_order(self):
+        """Once a bucket is current (heapified), same-bucket pushes must
+        heappush — a plain append here would pop out of order."""
+        wheel = TimingWheel(bucket_ns=100.0, n_buckets=8)
+        wheel.push(_entry(50.0, seq=0))
+        assert wheel.peek_until(None)[2] == 0  # heapifies bucket 0
+        # Same tick as the head, earlier stamp than a later push.
+        wheel.push(_entry(10.0, seq=1))
+        wheel.push(_entry(30.0, seq=2))
+        assert [e[0] for e in _drain(wheel)] == [10.0, 30.0, 50.0]
+
+    def test_fifo_among_equal_stamps_matches_heap(self):
+        """Full tuple ties (same fire, schedule, seq never happens in the
+        engine, but equal fire+schedule does): order equals heapq's."""
+        wheel = TimingWheel(bucket_ns=16.0, n_buckets=8)
+        heap = []
+        entries = [_entry(32.0, seq=i, schedule_time=0.0) for i in range(6)]
+        for e in entries:
+            wheel.push(e)
+            heapq.heappush(heap, e)
+        expect = [heapq.heappop(heap) for _ in range(len(entries))]
+        assert _drain(wheel) == expect
+
+
+class TestCancellation:
+    def test_cancelled_entries_still_pop(self):
+        """The wheel mirrors the raw heap: lazy cancellation is the engine's
+        job, so cancelled entries come back in order and count in size."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=16)
+        a, b = _entry(8.0, seq=0), _entry(16.0, seq=1)
+        wheel.push(a)
+        wheel.push(b)
+        a[3].cancelled = True
+        assert wheel.size == 2
+        assert _drain(wheel) == [a, b]
+
+    def test_cancel_then_reschedule_same_callback(self):
+        """Cancel an entry, push a replacement at a different time: the
+        replacement fires in its own slot, the corpse pops where it was."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=16)
+        first = _entry(64.0, seq=0)
+        wheel.push(first)
+        first[3].cancelled = True
+        replacement = _entry(24.0, seq=1)
+        wheel.push(replacement)
+        order = _drain(wheel)
+        assert order == [replacement, first]
+        live = [e for e in order if not e[3].cancelled]
+        assert live == [replacement]
+
+    def test_compact_drops_cancelled_everywhere(self):
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        near = _entry(8.0, seq=0)
+        mid = _entry(16.0, seq=1)
+        far = _entry(10_000.0, seq=2)  # overflow
+        for e in (near, mid, far):
+            wheel.push(e)
+        near[3].cancelled = True
+        far[3].cancelled = True
+        dropped = wheel.compact()
+        assert sorted(d.seq for d in dropped) == [0, 2]
+        assert wheel.size == 1
+        assert _drain(wheel) == [mid]
+
+    def test_compact_preserves_current_bucket_heap_order(self):
+        wheel = TimingWheel(bucket_ns=100.0, n_buckets=4)
+        entries = [_entry(float(t), seq=i) for i, t in enumerate((90, 10, 50, 30))]
+        for e in entries:
+            wheel.push(e)
+        assert wheel.peek_until(None)[0] == 10.0  # bucket 0 now current
+        entries[2][3].cancelled = True  # 50.0
+        wheel.compact()
+        assert [e[0] for e in _drain(wheel)] == [10.0, 30.0, 90.0]
+
+
+class TestOverflow:
+    def test_far_future_push_spills_into_wheel_later(self):
+        """Beyond-horizon entries park in the overflow heap and re-enter the
+        wheel as the horizon slides past them — in global order."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)  # horizon = 32 ns
+        far = _entry(1000.0, seq=0)
+        farther = _entry(2000.0, seq=1)
+        near = _entry(4.0, seq=2)
+        for e in (farther, far, near):
+            wheel.push(e)
+        assert wheel.size == 3
+        assert _drain(wheel) == [near, far, farther]
+
+    def test_overflow_respects_until_bound(self):
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        wheel.push(_entry(1000.0, seq=0))
+        assert wheel.peek_until(500.0) is None
+        # A later unbounded peek still finds it.
+        assert wheel.peek_until(None)[0] == 1000.0
+
+    def test_interleaved_overflow_and_near_pushes(self):
+        """Pops interleave spilled overflow entries with direct pushes made
+        after the cursor has advanced."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        wheel.push(_entry(500.0, seq=0))
+        wheel.push(_entry(4.0, seq=1))
+        first = wheel.peek_until(None)
+        assert first[0] == 4.0
+        wheel.pop()
+        # Cursor is at bucket 0; schedule into the near future again.
+        wheel.push(_entry(20.0, seq=2))
+        assert [e[0] for e in _drain(wheel)] == [20.0, 500.0]
+
+
+class TestWrapAround:
+    def test_drain_across_many_wraps(self):
+        """Fire times spanning many wheel revolutions drain in sorted order
+        even though their slots alias modulo n_buckets."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        # Slots: 3.0->0, 35.0->(4 mod 4)=0, 67.0->0 ... all alias slot 0,
+        # plus neighbours; every revolution reuses the same 4 lists.
+        times = [3.0, 35.0, 67.0, 99.0, 11.0, 43.0, 75.0, 27.0, 59.0, 91.0]
+        entries = [_entry(t, seq=i) for i, t in enumerate(times)]
+        for e in entries:
+            wheel.push(e)
+        assert _drain(wheel) == sorted(entries)
+
+    def test_push_ahead_while_draining_wraps(self):
+        """The engine's steady state: each pop schedules a bit further out,
+        forever wrapping the cursor around the wheel."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        seq = itertools.count()
+        wheel.push(_entry(0.0, next(seq)))
+        popped = []
+        while len(popped) < 50:
+            head = wheel.peek_until(None)
+            wheel.pop()
+            popped.append(head[0])
+            if len(popped) < 50:
+                # Re-arm 3 buckets out (inside horizon) from the fire time.
+                wheel.push(_entry(head[0] + 24.0, next(seq), schedule_time=head[0]))
+        assert popped == sorted(popped)
+        assert popped[-1] == 24.0 * 49
+
+    def test_boundary_fire_times_land_in_later_bucket(self):
+        """fire == bucket edge belongs to the higher bucket (floor-div), and
+        the defensive clamp only fires for float dust, not real boundaries."""
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        edge = _entry(8.0, seq=0)  # exactly bucket 1's start
+        inside = _entry(7.0, seq=1)
+        wheel.push(edge)
+        wheel.push(inside)
+        assert [e[0] for e in _drain(wheel)] == [7.0, 8.0]
+
+
+class TestIntrospection:
+    def test_find_min_live_skips_cancelled_without_moving_cursor(self):
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=16)
+        a, b = _entry(8.0, seq=0), _entry(80.0, seq=1)
+        wheel.push(a)
+        wheel.push(b)
+        a[3].cancelled = True
+        assert wheel.find_min_live() is b
+        assert wheel._cur == 0  # cursor untouched
+        # The drain still sees the cancelled corpse first.
+        assert _drain(wheel) == [a, b]
+
+    def test_find_min_any_includes_cancelled(self):
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=16)
+        a, b = _entry(8.0, seq=0), _entry(80.0, seq=1)
+        wheel.push(a)
+        wheel.push(b)
+        a[3].cancelled = True
+        assert wheel.find_min_any() is a
+
+    def test_find_min_any_reaches_overflow(self):
+        wheel = TimingWheel(bucket_ns=8.0, n_buckets=4)
+        far = _entry(10_000.0, seq=0)
+        wheel.push(far)
+        assert wheel.find_min_any() is far
+        assert wheel.find_min_live() is far
+
+
+# --- Hypothesis: wheel-vs-heap pop order on random schedules -----------------
+
+# Fire-time offsets quantized to odd fractions so bucket boundaries, same-tick
+# ties, and far-overflow jumps all occur; the engine never schedules into the
+# past, so offsets are relative to the last popped fire time.
+_offsets = st.lists(
+    st.integers(min_value=0, max_value=5000).map(lambda i: i * 3.7),
+    min_size=1,
+    max_size=60,
+)
+# After each pop, how many new entries to push (0-2), decided per step.
+_pushes_per_pop = st.lists(st.integers(min_value=0, max_value=2), max_size=60)
+
+
+@settings(max_examples=50, deadline=None)
+@given(initial=_offsets, extra=_pushes_per_pop, data=st.data())
+def test_wheel_matches_heap_on_random_schedules(initial, extra, data):
+    """Interleaved push/pop streams: the wheel's pop sequence must equal a
+    plain heapq heap fed the identical entries at the identical moments."""
+    wheel = TimingWheel(bucket_ns=8.0, n_buckets=8)  # tiny: force wraps/spill
+    heap = []
+    seq = itertools.count()
+
+    def push_both(fire, now):
+        e = _entry(fire, next(seq), schedule_time=now)
+        wheel.push(e)
+        heapq.heappush(heap, e)
+
+    for off in initial:
+        push_both(off, 0.0)
+
+    steps = iter(extra)
+    while heap:
+        expect = heapq.heappop(heap)
+        got = wheel.peek_until(None)
+        assert got is expect, f"wheel head {got} != heap head {expect}"
+        wheel.pop()
+        now = expect[0]
+        for _ in range(next(steps, 0)):
+            off = data.draw(
+                st.integers(min_value=0, max_value=200).map(lambda i: i * 5.3),
+                label="reschedule offset",
+            )
+            push_both(now + off, now)
+    assert wheel.peek_until(None) is None
+    assert wheel.size == 0
